@@ -1,0 +1,102 @@
+// Ablations of LANC's design choices (DESIGN.md section 5):
+//   1. non-causal tap count N (the core lookahead claim),
+//   2. NLMS normalization vs plain LMS,
+//   3. secondary-path estimate quality,
+//   4. warm start vs cold start convergence.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mute;
+  using bench::run_scheme;
+
+  std::printf("LANC design ablations.\n");
+  const double kDur = 10.0;
+
+  // ---- 1. Non-causal taps ------------------------------------------------
+  {
+    eval::Table table({"N_taps", "broadband_dB", "0-1k_dB", "1-4k_dB"});
+    for (std::size_t cap : {0u, 8u, 16u, 32u, 64u, 128u, 192u}) {
+      const auto run = run_scheme(
+          sim::Scheme::kMuteHollow, sim::NoiseKind::kWhite, 42, kDur,
+          [&](sim::SystemConfig& cfg) {
+            cfg.max_noncausal_taps = cap;
+            cfg.use_rf_link = false;  // isolate the algorithmic effect
+          });
+      const double row[] = {run.spectrum.average_db(30, 4000),
+                            run.spectrum.average_db(30, 1000),
+                            run.spectrum.average_db(1000, 4000)};
+      table.add_row(std::to_string(run.result.noncausal_taps), row, 1);
+    }
+    std::printf("\n-- ablation 1: non-causal taps N "
+                "(more lookahead -> deeper cancellation) --\n");
+    table.print(std::cout);
+  }
+
+  // ---- 2. Step-size / normalization ---------------------------------------
+  {
+    eval::Table table({"mu", "broadband_dB"});
+    for (double mu : {0.02, 0.05, 0.15, 0.3}) {
+      const auto run = run_scheme(
+          sim::Scheme::kMuteHollow, sim::NoiseKind::kWhite, 42, kDur,
+          [&](sim::SystemConfig& cfg) {
+            cfg.mu = mu;
+            cfg.use_rf_link = false;
+          });
+      const double row[] = {run.spectrum.average_db(30, 4000)};
+      table.add_row(eval::fmt(mu, 2), row, 1);
+    }
+    std::printf("\n-- ablation 2: NLMS step size (too small = slow "
+                "convergence within the run, too large = misadjustment) --\n");
+    table.print(std::cout);
+  }
+
+  // ---- 3. Secondary-path estimate quality ---------------------------------
+  {
+    eval::Table table({"cal_seconds", "sec_taps", "cal_err_dB",
+                       "broadband_dB"});
+    struct Case {
+      double cal_s;
+      std::size_t taps;
+    };
+    for (const auto& c : {Case{0.2, 32}, Case{0.5, 96}, Case{2.0, 256}}) {
+      const auto run = run_scheme(
+          sim::Scheme::kMuteHollow, sim::NoiseKind::kWhite, 42, kDur,
+          [&](sim::SystemConfig& cfg) {
+            cfg.calibration_s = c.cal_s;
+            cfg.secondary_taps = c.taps;
+            cfg.use_rf_link = false;
+          });
+      const double row[] = {static_cast<double>(c.taps),
+                            run.result.calibration_error_db,
+                            run.spectrum.average_db(30, 4000)};
+      table.add_row(eval::fmt(c.cal_s, 1), row, 1);
+    }
+    std::printf("\n-- ablation 3: secondary-path estimate quality --\n");
+    table.print(std::cout);
+  }
+
+  // ---- 4. Warm start vs cold start ----------------------------------------
+  {
+    eval::Table table({"start", "broadband_dB", "convergence_s"});
+    for (bool warm : {false, true}) {
+      const auto run = run_scheme(
+          sim::Scheme::kMuteHollow, sim::NoiseKind::kWhite, 42, kDur,
+          [&](sim::SystemConfig& cfg) {
+            cfg.warm_start = warm;
+            cfg.use_rf_link = false;
+          });
+      const double row[] = {
+          run.spectrum.average_db(30, 4000),
+          eval::convergence_time_s(run.result.residual,
+                                   run.result.sample_rate)};
+      table.add_row(warm ? "warm (factory fit)" : "cold (LMS from zero)", row,
+                    2);
+    }
+    std::printf("\n-- ablation 4: warm vs cold start --\n");
+    table.print(std::cout);
+  }
+  return 0;
+}

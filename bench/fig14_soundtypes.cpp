@@ -1,0 +1,42 @@
+// Figure 14: MUTE_Hollow vs Bose_Overall for four real-world noise types
+// (male voice, female voice, construction sound, music).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mute;
+  using bench::run_scheme;
+
+  std::printf("Figure 14 reproduction: four ambient sound types.\n");
+  std::printf("Paper expectation: MUTE_Hollow lands within ~0.9 dB of\n"
+              "Bose_Overall (ANC + passive shell) on every sound type.\n");
+
+  const double kDur = 12.0;
+  const sim::NoiseKind kinds[] = {
+      sim::NoiseKind::kMaleVoice, sim::NoiseKind::kFemaleVoice,
+      sim::NoiseKind::kConstruction, sim::NoiseKind::kMusic};
+
+  for (auto kind : kinds) {
+    const auto mute_run = run_scheme(sim::Scheme::kMuteHollow, kind, 42, kDur);
+    const auto bose_run = run_scheme(sim::Scheme::kBoseOverall, kind, 42, kDur);
+    bench::print_cancellation_curves(
+        std::string("Figure 14 panel: ") + sim::noise_name(kind),
+        {{"MUTE_Hollow", &mute_run.spectrum},
+         {"Bose_Overall", &bose_run.spectrum}});
+    // Tonal/sparse sources (music, voice) leave most Welch bins at the
+    // noise floor where the per-bin dB ratio is ~0; the figure-level
+    // summary therefore uses total band-power cancellation, which is what
+    // a listener's ear integrates.
+    const double mute_pw = eval::band_cancellation_db(
+        mute_run.result.disturbance, mute_run.result.residual,
+        mute_run.result.sample_rate, 30, 4000, kDur / 2.0);
+    const double bose_pw = eval::band_cancellation_db(
+        bose_run.result.disturbance, bose_run.result.residual,
+        bose_run.result.sample_rate, 30, 4000, kDur / 2.0);
+    std::printf("\nbroadband power cancellation: MUTE_Hollow %.1f dB, "
+                "Bose_Overall %.1f dB (MUTE - Bose = %.1f dB; paper: +0.9)\n",
+                mute_pw, bose_pw, mute_pw - bose_pw);
+  }
+  return 0;
+}

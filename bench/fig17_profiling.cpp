@@ -1,0 +1,136 @@
+// Figure 17: additional cancellation from predictive sound profiling.
+//
+// The paper's setup: wide-band background noise from one ambient speaker,
+// intermittent "mixed human voice" from another, and the explicit
+// operating assumption that "there is one dominant sound source at any
+// given time" (Section 3.2). We reproduce that regime with two
+// deterministically alternating sources at different positions — voice-
+// band bursts (speech-shaped noise) versus wide-band background — so the
+// sound profile genuinely alternates and each profile's optimal filter
+// differs (different room channels AND different spectra).
+//
+// Substitution note (DESIGN.md): recorded voice is replaced by voice-band
+// noise bursts. Synthetic speech with syllable-level gaps flaps any
+// energy-signature classifier the paper's description allows; the burst
+// workload keeps the profile structure the experiment is actually about.
+#include <cstdio>
+#include <memory>
+
+#include "audio/generators.hpp"
+#include "bench_util.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/signal_ops.hpp"
+
+namespace {
+
+using namespace mute;
+
+audio::SourcePtr voice_bursts(double fs, std::uint64_t seed) {
+  dsp::BiquadCascade shape;
+  shape.push_section(dsp::Biquad::bandpass(800.0, 0.6, fs));
+  auto white = std::make_unique<audio::WhiteNoiseSource>(1.0, seed);
+  auto shaped = std::make_unique<audio::FilteredSource>(
+      std::move(white), std::move(shape), "voice_band");
+  // 4 s period: voice on the first half.
+  return std::make_unique<audio::GatedSource>(std::move(shaped), fs, 4.0, 0.5,
+                                              0.0);
+}
+
+audio::SourcePtr background_bursts(double fs, std::uint64_t seed) {
+  auto white = std::make_unique<audio::WhiteNoiseSource>(0.3, seed);
+  // Anti-phase: background dominates the second half of each period.
+  return std::make_unique<audio::GatedSource>(std::move(white), fs, 4.0, 0.5,
+                                              2.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 17 reproduction: profiling + filter switching for\n"
+              "alternating dominant sources.\n");
+  std::printf("Paper expectation: ~3 dB additional cancellation on average.\n");
+
+  const auto scene = acoustics::Scene::paper_office();
+  const double kDur = 48.0;
+
+  auto run_with = [&](bool profiling) {
+    auto cfg = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+    cfg.duration_s = kDur;
+    cfg.profiling = profiling;
+    cfg.warm_start = false;   // the experiment IS the adaptation dynamics
+    cfg.mu = 0.1;  // strongly non-stationary workload: gentler step
+    cfg.mu_settle = 0.0;      // keep the step constant: re-convergence is
+                              // exactly what profiling is meant to avoid
+    cfg.second_source_position = acoustics::Point{1.4, 4.3, 1.5};
+    auto voice = voice_bursts(cfg.scene.sample_rate, 7);
+    auto background = background_bursts(cfg.scene.sample_rate, 5);
+    bench::SchemeRun out{
+        sim::run_anc_simulation(*voice, cfg, background.get()), {}};
+    out.spectrum = eval::cancellation_spectrum(out.result.disturbance,
+                                               out.result.residual,
+                                               out.result.sample_rate, kDur / 2.0)
+                       .smoothed(3.0);
+    return out;
+  };
+
+  const auto off = run_with(false);
+  const auto on = run_with(true);
+
+  bench::print_cancellation_curves("Figure 17 input curves",
+                                   {{"profiling OFF", &off.spectrum},
+                                    {"profiling ON", &on.spectrum}});
+
+  // The figure itself plots the *additional* gain of switching.
+  eval::CancellationSpectrum additional;
+  additional.freq_hz = on.spectrum.freq_hz;
+  additional.cancellation_db.resize(on.spectrum.cancellation_db.size());
+  for (std::size_t i = 0; i < additional.freq_hz.size(); ++i) {
+    additional.cancellation_db[i] =
+        on.spectrum.cancellation_db[i] - off.spectrum.cancellation_db[i];
+  }
+  bench::print_cancellation_curves(
+      "Figure 17: additional cancellation from profile switching (dB)",
+      {{"additional", &additional}});
+
+  // Segment-level means over the mature steady state (the caches improve
+  // for the first handful of visits): the benefit lives right after each
+  // transition, where the cached filter starts out converged.
+  const double fs = on.result.sample_rate;
+  auto segment_db = [&](const bench::SchemeRun& run, double phase_s,
+                        double skip_in_seg_s) {
+    double num = 0.0, den = 0.0;
+    const auto period = static_cast<std::size_t>(4.0 * fs);
+    const auto head = static_cast<std::size_t>(skip_in_seg_s * fs);
+    const auto seg = static_cast<std::size_t>(2.0 * fs) - head;
+    const auto start = static_cast<std::size_t>(phase_s * fs) + head;
+    for (std::size_t base = static_cast<std::size_t>(28.0 * fs) + start;
+         base + seg <= run.result.residual.size(); base += period) {
+      const std::span<const Sample> r(run.result.residual.data() + base, seg);
+      const std::span<const Sample> d(run.result.disturbance.data() + base,
+                                      seg);
+      num += mute::dsp::rms(r);
+      den += mute::dsp::rms(d);
+    }
+    return mute::amplitude_to_db(num / den);
+  };
+  std::printf("\n-- per-regime residual (dB rel. disturbance) --\n");
+  std::printf("including the ~100 ms detection transient both arms share:\n");
+  std::printf("  voice segments     : OFF %6.1f  ON %6.1f\n",
+              segment_db(off, 0.0, 0.0), segment_db(on, 0.0, 0.0));
+  std::printf("  background segments: OFF %6.1f  ON %6.1f\n",
+              segment_db(off, 2.0, 0.0), segment_db(on, 2.0, 0.0));
+  std::printf("established-profile region (first 0.6 s of each segment\n"
+              "excluded; the cached filter is already converged there while\n"
+              "the single filter is still re-converging):\n");
+  std::printf("  voice segments     : OFF %6.1f  ON %6.1f\n",
+              segment_db(off, 0.0, 0.6), segment_db(on, 0.0, 0.6));
+  std::printf("  background segments: OFF %6.1f  ON %6.1f\n",
+              segment_db(off, 2.0, 0.6), segment_db(on, 2.0, 0.6));
+  std::printf("\nprofiles discovered: %zu, switches executed: %zu "
+              "(20 transitions in the run)\n",
+              on.result.profiles_seen, on.result.profile_switches);
+  std::printf("average additional cancellation 0-4 kHz: %.1f dB "
+              "(paper: ~3 dB)\n",
+              additional.average_db(30, 4000));
+  return 0;
+}

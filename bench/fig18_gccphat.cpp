@@ -1,0 +1,55 @@
+// Figure 18: GCC-PHAT correlation between the wirelessly forwarded sound
+// and the error-microphone signal — one case with positive lookahead
+// (relay near the source) and one with negative (source near the client).
+#include <cstdio>
+#include <iostream>
+
+#include "acoustics/environment.hpp"
+#include "audio/generators.hpp"
+#include "core/gcc_phat.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace mute;
+
+  std::printf("Figure 18 reproduction: GCC-PHAT relay-vs-ear correlation.\n\n");
+
+  auto scene = acoustics::Scene::paper_office();
+  const double fs = scene.sample_rate;
+  audio::WhiteNoiseSource noise(0.2, 3);
+  const auto n_sig = noise.generate(static_cast<std::size_t>(fs));
+
+  // Positive case: the standard deployment (relay by the door).
+  const auto ch_pos = acoustics::build_channels(scene);
+  const auto x_pos = ch_pos.h_nr.apply(n_sig);
+  const auto e_pos = ch_pos.h_ne.apply(n_sig);
+  const auto pos = core::gcc_phat(x_pos, e_pos, fs, 0.012);
+
+  // Negative case: the noise source moved next to the listener's desk, so
+  // the wall relay hears it *after* the ear device does.
+  auto near_scene = scene;
+  near_scene.noise_source = {5.2, 2.8, 1.2};
+  const auto ch_neg = acoustics::build_channels(near_scene);
+  const auto x_neg = ch_neg.h_nr.apply(n_sig);
+  const auto e_neg = ch_neg.h_ne.apply(n_sig);
+  const auto neg = core::gcc_phat(x_neg, e_neg, fs, 0.012);
+
+  // Decimate both correlation curves onto a common lag grid for printing.
+  std::vector<double> lag_ms, pos_curve, neg_curve;
+  for (std::size_t i = 0; i < pos.lag_s.size(); i += 8) {
+    lag_ms.push_back(pos.lag_s[i] * 1e3);
+    pos_curve.push_back(pos.correlation[i]);
+    neg_curve.push_back(neg.correlation[i]);
+  }
+  std::vector<eval::Series> series = {{"positive lookahead", pos_curve},
+                                      {"negative lookahead", neg_curve}};
+  eval::print_ascii_chart(std::cout, lag_ms, series, "lag (ms)",
+                          "generalized correlation");
+
+  std::printf("\npositive case: peak at %+.2f ms (geometry predicts %+.2f ms)\n",
+              pos.peak_lag_s * 1e3, ch_pos.lookahead_s * 1e3);
+  std::printf("negative case: peak at %+.2f ms (geometry predicts %+.2f ms)\n",
+              neg.peak_lag_s * 1e3, ch_neg.lookahead_s * 1e3);
+  std::printf("\nMUTE invokes LANC only when the peak lag is positive.\n");
+  return 0;
+}

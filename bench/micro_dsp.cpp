@@ -1,0 +1,189 @@
+// Microbenchmarks (google-benchmark): real-time feasibility of the DSP
+// kernels. The paper's TMS320C6713 capped the system at an 8 kHz sample
+// rate; these numbers show the per-sample cost of each stage on a modern
+// CPU and hence the headroom for higher rates / more taps.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/fdaf.hpp"
+#include "adaptive/fxlms.hpp"
+#include "adaptive/fxlms_multi.hpp"
+#include "audio/generators.hpp"
+#include "common/rng.hpp"
+#include "core/gcc_phat.hpp"
+#include "core/lanc.hpp"
+#include "dsp/convolution.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir_filter.hpp"
+#include "dsp/resampler.hpp"
+#include "rf/fm.hpp"
+
+namespace {
+
+using namespace mute;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  ComplexSignal x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    ComplexSignal copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FirFilterPerSample(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> h(taps);
+  for (auto& v : h) v = rng.gaussian();
+  dsp::FirFilter f(h);
+  Sample x = 0.3f;
+  for (auto _ : state) {
+    x = f.process(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FirFilterPerSample)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_OverlapSaveBlock(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> h(taps);
+  for (auto& v : h) v = rng.gaussian();
+  dsp::OverlapSaveConvolver ols(h, 256);
+  Signal in(256, 0.1f), out(256);
+  for (auto _ : state) {
+    ols.process_block(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_OverlapSaveBlock)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_LancTick(benchmark::State& state) {
+  const auto noncausal = static_cast<std::size_t>(state.range(0));
+  std::vector<double> hse(128, 0.0);
+  hse[2] = 1.0;
+  core::LancOptions opts;
+  opts.fxlms.causal_taps = 512;
+  opts.fxlms.noncausal_taps = noncausal;
+  core::LancController lanc(hse, opts);
+  Rng rng(4);
+  for (auto _ : state) {
+    const Sample y = lanc.tick(static_cast<Sample>(rng.gaussian(0.1)));
+    lanc.observe_error(y * 0.01f);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["audio_fs_headroom_x16k"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) / 16000.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LancTick)->Arg(0)->Arg(64)->Arg(192);
+
+void BM_LancTickWithProfiling(benchmark::State& state) {
+  std::vector<double> hse(128, 0.0);
+  hse[2] = 1.0;
+  core::LancOptions opts;
+  opts.fxlms.causal_taps = 512;
+  opts.fxlms.noncausal_taps = 128;
+  opts.profiling = true;
+  core::LancController lanc(hse, opts);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Sample y = lanc.tick(static_cast<Sample>(rng.gaussian(0.1)));
+    lanc.observe_error(y * 0.01f);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LancTickWithProfiling);
+
+void BM_FdafBlock(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  adaptive::BlockFdaf fdaf({.taps = taps});
+  Rng rng(9);
+  Signal x(taps), d(taps), e(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    x[i] = static_cast<Sample>(rng.gaussian(0.2));
+    d[i] = x[i] * 0.5f;
+  }
+  for (auto _ : state) {
+    fdaf.step_block(x, d, e);
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(taps));
+}
+BENCHMARK(BM_FdafBlock)->Arg(256)->Arg(1024);
+
+void BM_MultiLancTick(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  std::vector<double> hse(64, 0.0);
+  hse[2] = 1.0;
+  adaptive::FxlmsOptions opts;
+  opts.causal_taps = 256;
+  opts.noncausal_taps = 64;
+  adaptive::MultiFxlmsEngine multi(
+      hse, std::vector<adaptive::FxlmsOptions>(channels, opts));
+  Rng rng(11);
+  Signal refs(channels);
+  for (auto _ : state) {
+    for (auto& v : refs) v = static_cast<Sample>(rng.gaussian(0.1));
+    const Sample y = multi.step_output(refs);
+    multi.adapt(y * 0.01f);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultiLancTick)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FmModDemod(benchmark::State& state) {
+  rf::FmModulator mod(60000.0, kDefaultRfSampleRate);
+  rf::FmDemodulator demod(60000.0, kDefaultRfSampleRate);
+  Rng rng(6);
+  for (auto _ : state) {
+    const Sample out =
+        demod.demodulate(mod.modulate(static_cast<Sample>(rng.gaussian(0.2))));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmModDemod);
+
+void BM_Resample16kTo256k(benchmark::State& state) {
+  Rng rng(7);
+  Signal in(1600);
+  for (auto& v : in) v = static_cast<Sample>(rng.gaussian(0.2));
+  dsp::Resampler up(16, 1);
+  for (auto _ : state) {
+    auto out = up.process(in);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1600);
+}
+BENCHMARK(BM_Resample16kTo256k);
+
+void BM_GccPhat(benchmark::State& state) {
+  Rng rng(8);
+  Signal a(8000), b(8000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<Sample>(rng.gaussian(0.2));
+    b[i] = (i >= 40) ? a[i - 40] : 0.0f;
+  }
+  for (auto _ : state) {
+    auto r = core::gcc_phat(a, b, 16000.0);
+    benchmark::DoNotOptimize(r.peak_lag_s);
+  }
+}
+BENCHMARK(BM_GccPhat);
+
+}  // namespace
+
+BENCHMARK_MAIN();

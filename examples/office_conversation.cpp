@@ -1,0 +1,61 @@
+// Scenario: Alice's office (the paper's Figure 1). A colleague talks in
+// the corridor while the HVAC hums; the IoT relay on the door forwards
+// the sound over FM, and the open-ear device cancels it with LANC +
+// predictive profiling. Writes before/after WAV files you can listen to.
+#include <cstdio>
+
+#include "audio/generators.hpp"
+#include "audio/speech_synth.hpp"
+#include "audio/wav.hpp"
+#include "eval/listener.hpp"
+#include "eval/metrics.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/system.hpp"
+
+int main() {
+  using namespace mute;
+
+  const auto scene = acoustics::Scene::paper_office();
+  const double fs = scene.sample_rate;
+
+  // The corridor conversation: intermittent male voice near the door.
+  audio::SpeechParams voice_params = audio::SpeechParams::male();
+  voice_params.amplitude = 0.6;
+  audio::SpeechSource conversation(voice_params, fs, 2024);
+
+  // Continuous HVAC hum from the ceiling vent across the room.
+  audio::MachineHumSource hvac(120.0, 0.08, fs, 77);
+
+  sim::SystemConfig cfg =
+      sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 11);
+  cfg.duration_s = 12.0;
+  cfg.profiling = true;          // speech comes and goes: cache filters
+  cfg.profile_hysteresis = 24;   // ride out syllable gaps
+  cfg.mu = 0.05;                 // non-stationary workload
+  cfg.second_source_position = acoustics::Point{3.0, 4.6, 2.9};  // vent
+
+  std::printf("Office-conversation scenario: corridor speech + HVAC hum.\n");
+  const auto result = sim::run_anc_simulation(conversation, cfg, &hvac);
+
+  const auto spec = eval::cancellation_spectrum(
+      result.disturbance, result.residual, fs, cfg.duration_s / 2.0);
+  std::printf("\nlookahead %.1f ms (N = %zu taps), profiles seen %zu, "
+              "switches %zu\n",
+              result.acoustic_lookahead_s * 1e3, result.noncausal_taps,
+              result.profiles_seen, result.profile_switches);
+  std::printf("cancellation: 0-1 kHz %.1f dB, speech band (0.3-3 kHz) %.1f dB,"
+              " broadband %.1f dB\n",
+              spec.average_db(30, 1000), spec.average_db(300, 3000),
+              spec.average_db(30, 4000));
+
+  // How would Alice rate it?
+  eval::ListenerPanel panel(1, fs, 5);
+  const auto rating = panel.rate(result.disturbance, result.residual);
+  std::printf("simulated listener rating: %.1f / 5 stars\n", rating[0].score);
+
+  audio::write_wav("office_before.wav", {result.disturbance, fs});
+  audio::write_wav("office_after.wav", {result.residual, fs});
+  std::printf("\nwrote office_before.wav / office_after.wav -- listen to the"
+              " difference.\n");
+  return 0;
+}

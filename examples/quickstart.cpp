@@ -1,0 +1,50 @@
+// Quickstart: cancel wide-band noise in a simulated office with MUTE.
+//
+// Builds the paper's Figure 2 deployment — an IoT relay near the noise
+// source forwarding audio over an analog FM link to an open-ear device
+// running LANC — and reports how much quieter the ear gets.
+#include <cstdio>
+
+#include "eval/metrics.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/system.hpp"
+
+int main() {
+  using namespace mute;
+
+  // 1. The scene: noise near the office door, relay on the wall beside
+  //    it, the listener across the room.
+  const auto scene = acoustics::Scene::paper_office();
+
+  // 2. MUTE_Hollow: wireless reference, open ear (no passive shell).
+  sim::SystemConfig cfg =
+      sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, /*seed=*/42);
+  cfg.duration_s = 8.0;
+
+  // 3. The disturbance: unpredictable wide-band white noise.
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, scene.sample_rate, 7);
+
+  std::printf("Running MUTE end-to-end simulation (%.0f s of audio)...\n",
+              cfg.duration_s);
+  const sim::SystemResult result = sim::run_anc_simulation(*noise, cfg);
+
+  std::printf("\n-- timing --\n");
+  std::printf("acoustic lookahead : %7.2f ms (Eq. 4 geometry)\n",
+              result.acoustic_lookahead_s * 1e3);
+  std::printf("FM link delay      : %7.2f ms\n", result.link_delay_s * 1e3);
+  std::printf("usable lookahead   : %7.2f ms after the Eq. 3 budget\n",
+              result.usable_lookahead_s * 1e3);
+  std::printf("non-causal taps N  : %zu\n", result.noncausal_taps);
+  std::printf("h_se calibration   : %7.2f dB residual\n",
+              result.calibration_error_db);
+
+  const auto spec = eval::cancellation_spectrum(
+      result.disturbance, result.residual, result.sample_rate);
+  std::printf("\n-- cancellation at the ear --\n");
+  std::printf("0-1 kHz   : %6.2f dB\n", spec.average_db(30.0, 1000.0));
+  std::printf("1-4 kHz   : %6.2f dB\n", spec.average_db(1000.0, 4000.0));
+  std::printf("broadband : %6.2f dB\n", spec.average_db(30.0, 4000.0));
+  std::printf("\n(negative = quieter; the paper reports roughly -15 dB "
+              "broadband for MUTE_Hollow)\n");
+  return 0;
+}

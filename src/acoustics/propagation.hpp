@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mute::acoustics {
+
+/// A point in 3D room coordinates (meters).
+struct Point {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  friend Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+};
+
+inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+/// Acoustic propagation delay between two points, seconds.
+inline double acoustic_delay_s(Point a, Point b,
+                               double speed = kSpeedOfSound) {
+  ensure(speed > 0, "speed must be positive");
+  return distance(a, b) / speed;
+}
+
+/// RF propagation delay between two points, seconds (≈ nanoseconds at room
+/// scale; the simulator treats it as zero audio samples but the value is
+/// exposed for the timing-budget analysis of Eq. 3/4).
+inline double rf_delay_s(Point a, Point b) {
+  return distance(a, b) / kSpeedOfLight;
+}
+
+/// The paper's Equation 4: lookahead gained when the noise travels d_r to
+/// the relay and d_e to the ear device (positive iff the relay is closer).
+inline double lookahead_s(double d_relay_m, double d_ear_m,
+                          double speed = kSpeedOfSound) {
+  ensure(speed > 0, "speed must be positive");
+  return (d_ear_m - d_relay_m) / speed;
+}
+
+/// Spherical spreading loss relative to 1 m (amplitude 1/r, floored at
+/// 10 cm to avoid the singularity for co-located points).
+inline double spreading_gain(double distance_m) {
+  return 1.0 / std::max(distance_m, 0.1);
+}
+
+}  // namespace mute::acoustics

@@ -1,0 +1,102 @@
+#include "adaptive/causal_wiener.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mute::adaptive {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n) {
+  ensure(a.size() == n * n && b.size() == n, "dimension mismatch");
+  // Cholesky: A = L L^T, stored in the lower triangle of `a`.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    ensure(diag > 0.0, "matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= a[k * n + i] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  return b;
+}
+
+std::vector<double> fit_causal_fir(std::span<const Sample> u,
+                                   std::span<const Sample> d,
+                                   std::size_t taps, double ridge_rel,
+                                   std::span<const Sample> effort,
+                                   double effort_weight) {
+  ensure(u.size() == d.size(), "record lengths must match");
+  ensure(taps >= 1, "need >= 1 tap");
+  ensure(u.size() >= 4 * taps, "tuning record too short for this many taps");
+  ensure(ridge_rel >= 0, "ridge must be non-negative");
+  ensure(effort.empty() || effort.size() == u.size(),
+         "effort record must match the tuning record length");
+  ensure(effort_weight >= 0, "effort weight must be non-negative");
+
+  const std::size_t t_len = u.size();
+  // Biased autocorrelations and the u<->d cross-correlation. Start the
+  // sum at `taps` so every term has full history (avoids edge bias).
+  std::vector<double> r(taps, 0.0);
+  std::vector<double> rv(taps, 0.0);
+  std::vector<double> p(taps, 0.0);
+  for (std::size_t t = taps; t < t_len; ++t) {
+    const double dt = static_cast<double>(d[t]);
+    const double ut = static_cast<double>(u[t]);
+    const double vt = effort.empty() ? 0.0 : static_cast<double>(effort[t]);
+    for (std::size_t k = 0; k < taps; ++k) {
+      const double utk = static_cast<double>(u[t - k]);
+      r[k] += ut * utk;
+      p[k] += dt * utk;
+      if (!effort.empty()) {
+        rv[k] += vt * static_cast<double>(effort[t - k]);
+      }
+    }
+  }
+  const double norm = 1.0 / static_cast<double>(t_len - taps);
+  for (std::size_t k = 0; k < taps; ++k) {
+    r[k] = (r[k] + effort_weight * rv[k]) * norm;
+    p[k] *= norm;
+  }
+
+  // Toeplitz normal matrix with ridge. Narrow-band tuning records (music,
+  // tonal noise) leave R rank-deficient; escalate the ridge until the
+  // Cholesky factorization succeeds — a stronger ridge only makes the
+  // controller more conservative, never unstable.
+  double ridge = std::max(ridge_rel, 1e-8) * std::max(r[0], 1e-20);
+  for (int attempt = 0; attempt < 12; ++attempt, ridge *= 10.0) {
+    std::vector<double> a(taps * taps);
+    for (std::size_t i = 0; i < taps; ++i) {
+      for (std::size_t j = 0; j < taps; ++j) {
+        a[i * taps + j] = r[i >= j ? i - j : j - i];
+      }
+      a[i * taps + i] += ridge;
+    }
+    std::vector<double> rhs(taps);
+    for (std::size_t k = 0; k < taps; ++k) rhs[k] = -p[k];
+    try {
+      return solve_spd(std::move(a), std::move(rhs), taps);
+    } catch (const PreconditionError&) {
+      continue;  // ridge too small for this record; escalate
+    }
+  }
+  throw InvariantError("causal Wiener fit failed even with maximal ridge");
+}
+
+}  // namespace mute::adaptive

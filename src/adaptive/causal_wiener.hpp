@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::adaptive {
+
+/// Exact causal-constrained Wiener controller fit.
+///
+/// Given a tuning record of the *plant-filtered* reference u(t) (the same
+/// filtered-x signal the LMS uses) and the disturbance d(t) it must
+/// cancel, solve the ridge-regularized least squares
+///
+///   min_w  sum_t ( d(t) + sum_{k=0}^{taps-1} w_k u(t-k) )^2 + ridge |w|^2
+///
+/// via the Toeplitz normal equations (R + ridge I) w = -p. Unlike the
+/// truncated unconstrained Wiener solution, this IS the optimum over
+/// causal FIRs of this length — the correct "factory tuning" for a
+/// conventional ANC headphone whose geometry demands (infeasible)
+/// anticausal taps, and a convergence-free warm start for LANC.
+///
+/// `ridge_rel` scales the ridge relative to r[0] (the reference power).
+///
+/// `effort` (optional, empty to disable) is a second record v(t) whose
+/// filtered power is penalized: the objective gains `effort_weight *
+/// sum_t (sum_k w_k v(t-k))^2`. Pass the *out-of-band* component of the
+/// reference to keep the controller from spending gain where the error
+/// objective cannot see it (band-limited tuning, paper's Bose baseline).
+std::vector<double> fit_causal_fir(std::span<const Sample> u,
+                                   std::span<const Sample> d,
+                                   std::size_t taps,
+                                   double ridge_rel = 1e-4,
+                                   std::span<const Sample> effort = {},
+                                   double effort_weight = 1.0);
+
+/// Solve A x = b for symmetric positive-definite A (Cholesky, in place on
+/// a copy). Exposed for testing. Throws if A is not positive definite.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n);
+
+}  // namespace mute::adaptive

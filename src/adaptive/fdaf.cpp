@@ -1,0 +1,105 @@
+#include "adaptive/fdaf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+
+namespace mute::adaptive {
+
+BlockFdaf::BlockFdaf(Options options)
+    : opts_(options), block_(next_pow2(std::max<std::size_t>(options.taps, 2))),
+      fft_(2 * block_), w_(fft_, Complex(0.0, 0.0)),
+      x_prev_(block_, 0.0), bin_power_(fft_, 0.0) {
+  ensure(options.mu > 0, "mu must be positive");
+  ensure(options.epsilon > 0, "epsilon must be positive");
+  ensure(options.power_alpha > 0 && options.power_alpha < 1,
+         "power_alpha in (0,1)");
+}
+
+void BlockFdaf::step_block(std::span<const Sample> x,
+                           std::span<const Sample> desired,
+                           std::span<Sample> error_out) {
+  ensure(x.size() == block_ && desired.size() == block_ &&
+             error_out.size() == block_,
+         "blocks must be exactly block_size() samples");
+
+  // Assemble [previous block | current block] and transform.
+  ComplexSignal xf(fft_);
+  for (std::size_t i = 0; i < block_; ++i) {
+    xf[i] = Complex(x_prev_[i], 0.0);
+    xf[block_ + i] = Complex(static_cast<double>(x[i]), 0.0);
+    x_prev_[i] = static_cast<double>(x[i]);
+  }
+  mute::dsp::fft_inplace(xf);
+
+  // Per-bin power EMA (the FDAF equivalent of NLMS normalization; this is
+  // what equalizes convergence across spectral notches).
+  for (std::size_t k = 0; k < fft_; ++k) {
+    bin_power_[k] = opts_.power_alpha * bin_power_[k] +
+                    (1.0 - opts_.power_alpha) * std::norm(xf[k]);
+  }
+
+  // Filter: y = last block of IFFT(X .* W) (overlap-save).
+  ComplexSignal yf(fft_);
+  for (std::size_t k = 0; k < fft_; ++k) yf[k] = xf[k] * w_[k];
+  mute::dsp::ifft_inplace(yf);
+
+  // Error (time domain), zero-padded head for the gradient transform.
+  ComplexSignal ef(fft_, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < block_; ++i) {
+    const double e = static_cast<double>(desired[i]) -
+                     yf[block_ + i].real();
+    error_out[i] = static_cast<Sample>(e);
+    ef[block_ + i] = Complex(e, 0.0);
+  }
+  mute::dsp::fft_inplace(ef);
+
+  // Gradient: conj(X) .* E, normalized per bin.
+  ComplexSignal grad(fft_);
+  for (std::size_t k = 0; k < fft_; ++k) {
+    grad[k] = std::conj(xf[k]) * ef[k] /
+              (bin_power_[k] + opts_.epsilon);
+  }
+  if (opts_.constrained) {
+    // Constrain the gradient to a causal filter of length block_: go to
+    // time domain, zero the second half, come back.
+    mute::dsp::ifft_inplace(grad);
+    for (std::size_t i = block_; i < fft_; ++i) grad[i] = Complex(0.0, 0.0);
+    mute::dsp::fft_inplace(grad);
+  }
+  for (std::size_t k = 0; k < fft_; ++k) {
+    w_[k] += opts_.mu * grad[k];
+  }
+}
+
+Signal BlockFdaf::identify(std::span<const Sample> x,
+                           std::span<const Sample> desired) {
+  ensure(x.size() == desired.size(), "record lengths must match");
+  const std::size_t blocks = x.size() / block_;
+  Signal err(blocks * block_);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    step_block(x.subspan(b * block_, block_),
+               desired.subspan(b * block_, block_),
+               std::span<Sample>(err.data() + b * block_, block_));
+  }
+  return err;
+}
+
+std::vector<double> BlockFdaf::weights() const {
+  ComplexSignal w = w_;
+  mute::dsp::ifft_inplace(w);
+  std::vector<double> out(block_);
+  for (std::size_t i = 0; i < block_; ++i) out[i] = w[i].real();
+  return out;
+}
+
+void BlockFdaf::reset() {
+  std::fill(w_.begin(), w_.end(), Complex(0.0, 0.0));
+  std::fill(x_prev_.begin(), x_prev_.end(), 0.0);
+  std::fill(bin_power_.begin(), bin_power_.end(), 0.0);
+}
+
+}  // namespace mute::adaptive

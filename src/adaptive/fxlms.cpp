@@ -1,0 +1,91 @@
+#include "adaptive/fxlms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mute::adaptive {
+
+FxlmsEngine::FxlmsEngine(std::vector<double> secondary_path_estimate,
+                         FxlmsOptions options)
+    : opts_(options),
+      w_(options.noncausal_taps + options.causal_taps, 0.0),
+      x_hist_(w_.size(), 0.0),
+      u_hist_(w_.size(), 0.0),
+      sec_path_filter_(secondary_path_estimate),
+      sec_path_(std::move(secondary_path_estimate)) {
+  ensure(opts_.causal_taps >= 1, "need at least one causal tap");
+  ensure(opts_.mu > 0, "mu must be positive");
+  ensure(opts_.epsilon > 0, "epsilon must be positive");
+  ensure(opts_.leakage >= 0 && opts_.leakage < 1, "leakage in [0,1)");
+  ensure(!sec_path_.empty(), "secondary path estimate must be non-empty");
+}
+
+void FxlmsEngine::push_reference(Sample x_advanced) {
+  // Filtered reference u(t+N) = (h_se_est * x)(t+N), computed on arrival.
+  const Sample u_new = sec_path_filter_.process(x_advanced);
+
+  u_power_ += static_cast<double>(u_new) * static_cast<double>(u_new) -
+              u_hist_.back() * u_hist_.back();
+  std::rotate(x_hist_.rbegin(), x_hist_.rbegin() + 1, x_hist_.rend());
+  std::rotate(u_hist_.rbegin(), u_hist_.rbegin() + 1, u_hist_.rend());
+  x_hist_[0] = static_cast<double>(x_advanced);
+  u_hist_[0] = static_cast<double>(u_new);
+}
+
+Sample FxlmsEngine::compute_antinoise() const {
+  // Index i holds x(t - (i - N)); weight w_[i] is w_{k = i - N}.
+  double y = 0.0;
+  for (std::size_t i = 0; i < w_.size(); ++i) y += w_[i] * x_hist_[i];
+  return static_cast<Sample>(y);
+}
+
+void FxlmsEngine::adapt(Sample error) {
+  const double denom = std::max(u_power_, 0.0) + opts_.epsilon;
+  const double g = opts_.mu * static_cast<double>(error) / denom;
+  const double keep = 1.0 - opts_.mu * opts_.leakage;
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w_[i] = keep * w_[i] - g * u_hist_[i];
+  }
+}
+
+Sample FxlmsEngine::step_output(Sample x_advanced) {
+  push_reference(x_advanced);
+  return compute_antinoise();
+}
+
+void FxlmsEngine::set_weights(std::span<const double> w) {
+  ensure(w.size() == w_.size(), "weight size mismatch");
+  std::copy(w.begin(), w.end(), w_.begin());
+}
+
+void FxlmsEngine::set_mu(double mu) {
+  ensure(mu > 0, "mu must be positive");
+  opts_.mu = mu;
+}
+
+void FxlmsEngine::set_secondary_path(
+    std::vector<double> secondary_path_estimate) {
+  ensure(!secondary_path_estimate.empty(), "secondary path must be non-empty");
+  sec_path_ = std::move(secondary_path_estimate);
+  sec_path_filter_ = mute::dsp::FirFilter(sec_path_);
+}
+
+const std::vector<double>& FxlmsEngine::secondary_path() const {
+  return sec_path_;
+}
+
+void FxlmsEngine::reset_history() {
+  std::fill(x_hist_.begin(), x_hist_.end(), 0.0);
+  std::fill(u_hist_.begin(), u_hist_.end(), 0.0);
+  sec_path_filter_.reset();
+  u_power_ = 0.0;
+}
+
+void FxlmsEngine::reset() {
+  reset_history();
+  std::fill(w_.begin(), w_.end(), 0.0);
+}
+
+}  // namespace mute::adaptive

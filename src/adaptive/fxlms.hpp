@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/fir_filter.hpp"
+
+namespace mute::adaptive {
+
+/// Configuration of the filtered-x LMS engine.
+///
+/// `noncausal_taps` (the paper's N in Equation 8) is the number of filter
+/// coefficients that multiply *future* reference samples. A conventional
+/// headphone has N == 0 (no lookahead); MUTE's LANC runs with N equal to
+/// the usable lookahead in samples. `causal_taps` is L in the paper.
+struct FxlmsOptions {
+  std::size_t causal_taps = 256;
+  std::size_t noncausal_taps = 0;
+  double mu = 0.5;          // NLMS-normalized step size
+  double epsilon = 1e-6;    // normalization regularizer
+  double leakage = 0.0;     // coefficient leakage per update
+};
+
+/// Filtered-x LMS with optional non-causal taps — the algorithmic heart of
+/// both the conventional-ANC baseline and MUTE's LANC (Algorithm 1).
+///
+/// Per audio tick the caller must:
+///   1. push_reference(x(t+N))   — newest reference sample (N ahead of the
+///                                 wavefront at the error mic; N == 0 for a
+///                                 conventional headphone),
+///   2. y = compute_antinoise()  — the sample to play now, Eq. 8:
+///                                 y(t) = sum_{k=-N}^{L-1} w_k x(t-k),
+///   3. adapt(e(t))              — after the acoustic mix is observed, the
+///                                 Eq. 7 update w_k -= mu * e(t) * u(t-k)
+///                                 where u = h_se_estimate * x.
+class FxlmsEngine {
+ public:
+  FxlmsEngine(std::vector<double> secondary_path_estimate,
+              FxlmsOptions options);
+
+  /// Feed the newest (possibly future) reference sample x(t+N).
+  void push_reference(Sample x_advanced);
+
+  /// Anti-noise output for the current instant t.
+  Sample compute_antinoise() const;
+
+  /// NLMS-normalized gradient step from the observed error e(t).
+  void adapt(Sample error);
+
+  /// push + compute in one call (adapt still separate — the error for time
+  /// t only exists after the simulator mixes the anti-noise acoustically).
+  Sample step_output(Sample x_advanced);
+
+  std::size_t total_taps() const { return w_.size(); }
+  std::size_t noncausal_taps() const { return opts_.noncausal_taps; }
+  const FxlmsOptions& options() const { return opts_; }
+
+  /// Weight vector ordered [w_{-N} ... w_{-1}, w_0, ..., w_{L-1}].
+  const std::vector<double>& weights() const { return w_; }
+  void set_weights(std::span<const double> w);
+
+  /// Adjust the step size at run time (step-size scheduling: converge
+  /// fast, then settle to a low-misadjustment step).
+  void set_mu(double mu);
+
+  /// Replace the secondary-path estimate (e.g. after recalibration).
+  void set_secondary_path(std::vector<double> secondary_path_estimate);
+  const std::vector<double>& secondary_path() const;
+
+  /// Clear signal history but keep weights (used at profile switches).
+  void reset_history();
+
+  /// Clear everything (weights and history).
+  void reset();
+
+ private:
+  FxlmsOptions opts_;
+  std::vector<double> w_;       // [noncausal | causal], newest-first order
+  std::vector<double> x_hist_;  // x(t+N) at index 0
+  std::vector<double> u_hist_;  // filtered reference, aligned with x_hist_
+  mute::dsp::FirFilter sec_path_filter_;
+  std::vector<double> sec_path_;
+  double u_power_ = 0.0;
+};
+
+}  // namespace mute::adaptive

@@ -1,0 +1,88 @@
+#include "adaptive/fxlms_multi.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mute::adaptive {
+
+MultiFxlmsEngine::MultiFxlmsEngine(std::vector<double> secondary_path_estimate,
+                                   std::vector<FxlmsOptions> per_channel)
+    : mu_(per_channel.empty() ? 0.0 : per_channel.front().mu),
+      epsilon_(per_channel.empty() ? 1e-6 : per_channel.front().epsilon),
+      leakage_(per_channel.empty() ? 0.0 : per_channel.front().leakage) {
+  ensure(!secondary_path_estimate.empty(), "secondary path must be non-empty");
+  ensure(!per_channel.empty(), "need at least one reference channel");
+  channels_.reserve(per_channel.size());
+  for (const auto& opts : per_channel) {
+    ensure(opts.causal_taps >= 1, "need at least one causal tap");
+    Channel ch{opts,
+               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
+               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
+               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
+               mute::dsp::FirFilter(secondary_path_estimate),
+               0.0};
+    channels_.push_back(std::move(ch));
+  }
+  ensure(mu_ > 0, "mu must be positive");
+}
+
+void MultiFxlmsEngine::push_references(std::span<const Sample> x_advanced) {
+  ensure(x_advanced.size() == channels_.size(),
+         "one sample per reference channel required");
+  for (std::size_t k = 0; k < channels_.size(); ++k) {
+    auto& ch = channels_[k];
+    const Sample u_new = ch.sec_filter.process(x_advanced[k]);
+    ch.u_power += static_cast<double>(u_new) * static_cast<double>(u_new) -
+                  ch.u_hist.back() * ch.u_hist.back();
+    std::rotate(ch.x_hist.rbegin(), ch.x_hist.rbegin() + 1, ch.x_hist.rend());
+    std::rotate(ch.u_hist.rbegin(), ch.u_hist.rbegin() + 1, ch.u_hist.rend());
+    ch.x_hist[0] = static_cast<double>(x_advanced[k]);
+    ch.u_hist[0] = static_cast<double>(u_new);
+  }
+}
+
+Sample MultiFxlmsEngine::compute_antinoise() const {
+  double y = 0.0;
+  for (const auto& ch : channels_) {
+    for (std::size_t i = 0; i < ch.w.size(); ++i) {
+      y += ch.w[i] * ch.x_hist[i];
+    }
+  }
+  return static_cast<Sample>(y);
+}
+
+void MultiFxlmsEngine::adapt(Sample error) {
+  double total_power = 0.0;
+  for (const auto& ch : channels_) total_power += std::max(ch.u_power, 0.0);
+  const double g = mu_ * static_cast<double>(error) / (total_power + epsilon_);
+  const double keep = 1.0 - mu_ * leakage_;
+  for (auto& ch : channels_) {
+    for (std::size_t i = 0; i < ch.w.size(); ++i) {
+      ch.w[i] = keep * ch.w[i] - g * ch.u_hist[i];
+    }
+  }
+}
+
+Sample MultiFxlmsEngine::step_output(std::span<const Sample> x_advanced) {
+  push_references(x_advanced);
+  return compute_antinoise();
+}
+
+const std::vector<double>& MultiFxlmsEngine::weights(
+    std::size_t channel) const {
+  ensure(channel < channels_.size(), "channel index out of range");
+  return channels_[channel].w;
+}
+
+void MultiFxlmsEngine::reset() {
+  for (auto& ch : channels_) {
+    std::fill(ch.w.begin(), ch.w.end(), 0.0);
+    std::fill(ch.x_hist.begin(), ch.x_hist.end(), 0.0);
+    std::fill(ch.u_hist.begin(), ch.u_hist.end(), 0.0);
+    ch.sec_filter.reset();
+    ch.u_power = 0.0;
+  }
+}
+
+}  // namespace mute::adaptive

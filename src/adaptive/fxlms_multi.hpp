@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "adaptive/fxlms.hpp"
+#include "common/types.hpp"
+#include "dsp/fir_filter.hpp"
+
+namespace mute::adaptive {
+
+/// Multi-reference filtered-x LMS — the paper's Section 6 future-work
+/// item ("with multiple noise sources ... requiring either multiple
+/// microphones, one for each noise channel").
+///
+/// Each reference channel k carries the forwarded waveform of one relay
+/// (with its own lookahead N_k) and owns a weight vector w_k; the single
+/// anti-noise output is the sum of the per-channel filter outputs, and
+/// one error microphone drives the joint NLMS update:
+///
+///   y(t)   = sum_k sum_i w_k[i] x_k(t + N_k - i)
+///   w_k[i] -= mu * e(t) * u_k(t + N_k - i) / (sum_j ||u_j||^2 + eps)
+///
+/// With sources that are statistically independent, each channel's weights
+/// converge toward the controller for "its" source even though the update
+/// is joint — the cross terms average out.
+class MultiFxlmsEngine {
+ public:
+  /// One options entry per reference channel; all channels share the same
+  /// secondary-path estimate (there is one speaker and one error mic).
+  MultiFxlmsEngine(std::vector<double> secondary_path_estimate,
+                   std::vector<FxlmsOptions> per_channel);
+
+  std::size_t channel_count() const { return channels_.size(); }
+
+  /// Feed the newest advanced sample of every reference (size must equal
+  /// channel_count()).
+  void push_references(std::span<const Sample> x_advanced);
+
+  /// Anti-noise output for the current instant.
+  Sample compute_antinoise() const;
+
+  /// Joint NLMS update from the shared error microphone.
+  void adapt(Sample error);
+
+  /// push + compute in one call.
+  Sample step_output(std::span<const Sample> x_advanced);
+
+  const std::vector<double>& weights(std::size_t channel) const;
+  void reset();
+
+ private:
+  struct Channel {
+    FxlmsOptions opts;
+    std::vector<double> w;       // [noncausal | causal], newest-first
+    std::vector<double> x_hist;
+    std::vector<double> u_hist;
+    mute::dsp::FirFilter sec_filter;
+    double u_power = 0.0;
+  };
+
+  double mu_;
+  double epsilon_;
+  double leakage_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace mute::adaptive

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::adaptive {
+
+/// Step-size policy for the LMS family.
+struct LmsOptions {
+  double mu = 0.05;          // adaptation rate
+  bool normalized = true;    // NLMS: divide by reference power
+  double epsilon = 1e-6;     // NLMS regularizer
+  double leakage = 0.0;      // coefficient leakage (0 = none)
+};
+
+/// Classic transversal adaptive FIR (LMS / NLMS).
+///
+/// Usage pattern (system identification): feed the input sample, get the
+/// prediction, then call `update` with the desired value. The filter
+/// estimates w such that w * x ≈ d.
+class AdaptiveFir {
+ public:
+  AdaptiveFir(std::size_t taps, LmsOptions options = {});
+
+  /// Push the newest input sample and return the current prediction
+  /// y(t) = w · [x(t), x(t-1), ...].
+  Sample predict(Sample x);
+
+  /// Adapt toward desired d(t) for the most recent prediction; returns the
+  /// a-priori error d - y.
+  Sample update(Sample desired);
+
+  /// Convenience: predict + update in one call.
+  Sample step(Sample x, Sample desired);
+
+  /// Identify a whole record: runs step() over the pair of signals and
+  /// returns the error sequence.
+  Signal identify(std::span<const Sample> x, std::span<const Sample> d);
+
+  const std::vector<double>& weights() const { return w_; }
+  void set_weights(std::span<const double> w);
+  void reset();
+
+  std::size_t tap_count() const { return w_.size(); }
+  const LmsOptions& options() const { return opts_; }
+
+  /// Current input-vector power estimate (NLMS denominator).
+  double input_power() const { return power_; }
+
+ private:
+  LmsOptions opts_;
+  std::vector<double> w_;
+  std::vector<double> x_;   // newest-first history
+  double power_ = 0.0;
+  double last_y_ = 0.0;
+};
+
+/// Misalignment ||w - w_true||^2 / ||w_true||^2 in dB (system-id quality).
+double misalignment_db(std::span<const double> w,
+                       std::span<const double> w_true);
+
+}  // namespace mute::adaptive

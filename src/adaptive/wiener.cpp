@@ -1,0 +1,75 @@
+#include "adaptive/wiener.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir_design.hpp"
+
+namespace mute::adaptive {
+
+WienerBound wiener_bound(std::span<const Sample> x, std::span<const Sample> d,
+                         std::span<const double> h_se, double sample_rate,
+                         std::size_t segment, double regularization) {
+  ensure(x.size() == d.size(), "signal lengths must match");
+  ensure(regularization >= 0, "regularization must be non-negative");
+  const auto cs = mute::dsp::cross_spectrum(x, d, sample_rate, segment);
+
+  WienerBound out;
+  out.freq_hz = cs.freq_hz;
+  out.w_opt.resize(cs.freq_hz.size());
+  out.residual_db.resize(cs.freq_hz.size());
+  out.coherence = mute::dsp::coherence(cs);
+
+  // Tikhonov floor relative to the strongest plant response.
+  double max_h2 = 0.0;
+  std::vector<Complex> hse_resp(cs.freq_hz.size());
+  for (std::size_t k = 0; k < cs.freq_hz.size(); ++k) {
+    hse_resp[k] = mute::dsp::fir_response(h_se, cs.freq_hz[k], sample_rate);
+    max_h2 = std::max(max_h2, std::norm(hse_resp[k]));
+  }
+  const double floor_h2 = regularization * std::max(max_h2, 1e-30);
+
+  for (std::size_t k = 0; k < cs.freq_hz.size(); ++k) {
+    const Complex hse = hse_resp[k];
+    const double denom =
+        std::max(cs.sxx[k], 1e-20) * (std::norm(hse) + floor_h2);
+    out.w_opt[k] = -cs.cross[k] * std::conj(hse) / denom;
+    // Residual power ratio = 1 - coherence (bounded below for numerics).
+    out.residual_db[k] = power_to_db(std::max(1.0 - out.coherence[k], 1e-12));
+  }
+  return out;
+}
+
+std::vector<double> realize_wiener(const WienerBound& bound,
+                                   std::size_t noncausal_taps,
+                                   std::size_t causal_taps) {
+  ensure(!bound.w_opt.empty(), "empty bound");
+  // Rebuild a full conjugate-symmetric spectrum from the one-sided W.
+  const std::size_t half = bound.w_opt.size() - 1;
+  const std::size_t nfft = half * 2;
+  ensure(is_pow2(nfft), "bound must come from a power-of-two segment");
+  ComplexSignal spec(nfft);
+  for (std::size_t k = 0; k <= half; ++k) {
+    spec[k] = bound.w_opt[k];
+    if (k != 0 && k != half) spec[nfft - k] = std::conj(bound.w_opt[k]);
+  }
+  mute::dsp::ifft_inplace(spec);
+
+  // Time index 0 is w_0; negative lags wrap to the end of the buffer.
+  ensure(noncausal_taps < nfft / 2 && causal_taps <= nfft / 2,
+         "requested taps exceed the transform support");
+  std::vector<double> w(noncausal_taps + causal_taps, 0.0);
+  for (std::size_t i = 0; i < noncausal_taps; ++i) {
+    // w[i] holds w_{k = i - N}, i.e. lag -(N - i).
+    w[i] = spec[nfft - (noncausal_taps - i)].real();
+  }
+  for (std::size_t i = 0; i < causal_taps; ++i) {
+    w[noncausal_taps + i] = spec[i].real();
+  }
+  return w;
+}
+
+}  // namespace mute::adaptive

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/spectral.hpp"
+
+namespace mute::adaptive {
+
+/// Frequency-domain Wiener bound for an ANC configuration.
+///
+/// Given a record of the reference signal x, the disturbance d it must
+/// cancel at the error microphone, and the secondary path h_se, the
+/// unconstrained (non-causal, infinite-lookahead) optimum per frequency bin
+/// is  W(f) = -S_xd(f) / (S_xx(f) * H_se(f)).
+/// The residual-power bound is governed by the x<->d coherence:
+///   |E_min(f)|^2 = S_dd(f) * (1 - C_xd(f)).
+/// LANC with generous lookahead should approach this bound; a causal
+/// truncation cannot. Used by property tests and the lookahead ablation.
+struct WienerBound {
+  std::vector<double> freq_hz;
+  ComplexSignal w_opt;               // optimal non-causal filter per bin
+  std::vector<double> residual_db;   // best possible cancellation per bin
+  std::vector<double> coherence;     // x<->d magnitude-squared coherence
+};
+
+/// `regularization` guards the division by H_se at frequencies where the
+/// plant has no authority (band-limited control, speaker rolloff): bins
+/// with |H_se|^2 below `regularization * max|H_se|^2` contribute ~zero
+/// filter gain instead of exploding.
+WienerBound wiener_bound(std::span<const Sample> x, std::span<const Sample> d,
+                         std::span<const double> h_se, double sample_rate,
+                         std::size_t segment = 1024,
+                         double regularization = 1e-3);
+
+/// Time-domain (truncated, shifted) realization of the Wiener filter:
+/// inverse-FFT of W(f) rotated so `noncausal_taps` anticausal coefficients
+/// are kept. Returns taps ordered [w_{-N} ... w_{L-1}] compatible with
+/// FxlmsEngine::set_weights.
+std::vector<double> realize_wiener(const WienerBound& bound,
+                                   std::size_t noncausal_taps,
+                                   std::size_t causal_taps);
+
+}  // namespace mute::adaptive

@@ -1,0 +1,62 @@
+#include "audio/construction_synth.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::audio {
+
+ConstructionSource::ConstructionSource(ConstructionParams params,
+                                       double sample_rate, std::uint64_t seed)
+    : params_(params), fs_(sample_rate), seed_(seed), rng_(seed),
+      impact_body_(mute::dsp::Biquad::bandpass(900.0, 2.0, sample_rate)),
+      engine_lp_(mute::dsp::Biquad::lowpass(180.0, 0.8, sample_rate)) {
+  ensure(sample_rate > 0, "sample rate must be positive");
+  ensure(params.impact_rate_hz > 0, "impact rate must be positive");
+  // ~80 ms ring-down for each impact.
+  impact_decay_ = std::exp(-1.0 / (0.08 * sample_rate));
+  schedule_next_impact();
+}
+
+void ConstructionSource::schedule_next_impact() {
+  // Quasi-periodic: period jittered +-35%.
+  const double period = (1.0 / params_.impact_rate_hz) * rng_.uniform(0.65, 1.35);
+  until_impact_ = std::max<std::size_t>(1, static_cast<std::size_t>(period * fs_));
+}
+
+void ConstructionSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    if (until_impact_ == 0) {
+      impact_env_ = params_.impact_amplitude * rng_.uniform(0.6, 1.2);
+      schedule_next_impact();
+    } else {
+      --until_impact_;
+    }
+    // Impact: decaying noise burst through a resonant body filter.
+    double impact = 0.0;
+    if (impact_env_ > 1e-4) {
+      impact = static_cast<double>(impact_body_.process(
+          static_cast<Sample>(impact_env_ * rng_.gaussian())));
+      impact_env_ *= impact_decay_;
+    }
+    // Engine bed: low-frequency harmonic buzz + filtered noise.
+    engine_phase_ = wrap_phase(engine_phase_ + kTwoPi * params_.engine_hz / fs_);
+    const double buzz = std::sin(engine_phase_) + 0.5 * std::sin(2.0 * engine_phase_) +
+                        0.8 * rng_.gaussian();
+    const double engine = params_.engine_amplitude *
+                          static_cast<double>(engine_lp_.process(static_cast<Sample>(buzz)));
+    s = static_cast<Sample>(params_.amplitude * (impact + engine));
+  }
+}
+
+void ConstructionSource::reset() {
+  rng_ = Rng(seed_);
+  impact_body_.reset();
+  engine_lp_.reset();
+  impact_env_ = 0.0;
+  engine_phase_ = 0.0;
+  schedule_next_impact();
+}
+
+}  // namespace mute::audio

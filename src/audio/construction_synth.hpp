@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "audio/source.hpp"
+#include "common/rng.hpp"
+#include "dsp/biquad.hpp"
+
+namespace mute::audio {
+
+/// Construction-site noise: quasi-periodic impact transients (hammering /
+/// pile driving) over a continuous diesel-engine bed. Matches the paper's
+/// "construction sound" workload — impulsive wide-band bursts plus a
+/// low-frequency rumble.
+struct ConstructionParams {
+  double impact_rate_hz = 3.0;     // average impacts per second
+  double impact_amplitude = 0.6;
+  double engine_amplitude = 0.05;
+  double engine_hz = 35.0;         // engine firing fundamental
+  double amplitude = 1.0;          // master scale
+};
+
+class ConstructionSource final : public SoundSource {
+ public:
+  ConstructionSource(ConstructionParams params, double sample_rate,
+                     std::uint64_t seed);
+
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "construction"; }
+
+ private:
+  void schedule_next_impact();
+
+  ConstructionParams params_;
+  double fs_;
+  std::uint64_t seed_;
+  Rng rng_;
+  mute::dsp::Biquad impact_body_;    // resonant body of the struck object
+  mute::dsp::Biquad engine_lp_;      // shapes the engine rumble
+  std::size_t until_impact_ = 0;
+  double impact_env_ = 0.0;
+  double impact_decay_ = 0.999;
+  double engine_phase_ = 0.0;
+};
+
+}  // namespace mute::audio

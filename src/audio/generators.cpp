@@ -1,0 +1,323 @@
+#include "audio/generators.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::audio {
+
+// ---------------------------------------------------------------- white
+
+WhiteNoiseSource::WhiteNoiseSource(double rms_amplitude, std::uint64_t seed)
+    : rms_(rms_amplitude), seed_(seed), rng_(seed) {
+  ensure(rms_amplitude >= 0, "RMS amplitude must be non-negative");
+}
+
+void WhiteNoiseSource::render(std::span<Sample> out) {
+  for (Sample& s : out) s = static_cast<Sample>(rng_.gaussian(rms_));
+}
+
+void WhiteNoiseSource::reset() { rng_ = Rng(seed_); }
+
+// ----------------------------------------------------------------- pink
+
+PinkNoiseSource::PinkNoiseSource(double rms_amplitude, std::uint64_t seed,
+                                 std::size_t rows)
+    : rms_(rms_amplitude), seed_(seed), rows_(rows), rng_(seed) {
+  ensure(rows >= 1 && rows <= 32, "rows must be in [1, 32]");
+  reseed();
+}
+
+void PinkNoiseSource::reseed() {
+  rng_ = Rng(seed_);
+  row_values_.assign(rows_, 0.0);
+  running_sum_ = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    row_values_[i] = rng_.gaussian();
+    running_sum_ += row_values_[i];
+  }
+  counter_ = 0;
+}
+
+void PinkNoiseSource::render(std::span<Sample> out) {
+  // Voss-McCartney: on each tick, update the row selected by the number of
+  // trailing zeros of the counter; the output is the sum of all rows.
+  const double norm = rms_ / std::sqrt(static_cast<double>(rows_) + 1.0);
+  for (Sample& s : out) {
+    ++counter_;
+    const auto tz = static_cast<std::size_t>(std::countr_zero(counter_));
+    const std::size_t row = std::min(tz, rows_ - 1);
+    running_sum_ -= row_values_[row];
+    row_values_[row] = rng_.gaussian();
+    running_sum_ += row_values_[row];
+    const double white = rng_.gaussian();  // add a white row for HF content
+    s = static_cast<Sample>(norm * (running_sum_ + white));
+  }
+}
+
+void PinkNoiseSource::reset() { reseed(); }
+
+// ----------------------------------------------------------------- tone
+
+ToneSource::ToneSource(double freq_hz, double amplitude, double sample_rate,
+                       double phase)
+    : freq_(freq_hz), amp_(amplitude), fs_(sample_rate), phase0_(phase),
+      phase_(phase) {
+  ensure(sample_rate > 0, "sample rate must be positive");
+  ensure(freq_hz >= 0 && freq_hz < sample_rate / 2, "freq must be in [0, fs/2)");
+}
+
+void ToneSource::render(std::span<Sample> out) {
+  const double dphi = kTwoPi * freq_ / fs_;
+  for (Sample& s : out) {
+    s = static_cast<Sample>(amp_ * std::sin(phase_));
+    phase_ = wrap_phase(phase_ + dphi);
+  }
+}
+
+void ToneSource::reset() { phase_ = phase0_; }
+
+// ------------------------------------------------------------------ hum
+
+MachineHumSource::MachineHumSource(double fundamental_hz, double amplitude,
+                                   double sample_rate, std::uint64_t seed,
+                                   std::size_t harmonics)
+    : f0_(fundamental_hz), amp_(amplitude), fs_(sample_rate), seed_(seed),
+      harmonics_(harmonics), rng_(seed) {
+  ensure(harmonics >= 1, "need at least one harmonic");
+  ensure(fundamental_hz * static_cast<double>(harmonics) < sample_rate / 2,
+         "highest harmonic must stay below Nyquist");
+}
+
+void MachineHumSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    // Slow AR(1) wobble in amplitude, ~1 Hz bandwidth.
+    wobble_state_ = 0.9995 * wobble_state_ + 0.0005 * rng_.gaussian(8.0);
+    const double wobble = 1.0 + 0.15 * std::tanh(wobble_state_);
+    double v = 0.0;
+    for (std::size_t h = 1; h <= harmonics_; ++h) {
+      const double hv = static_cast<double>(h);
+      v += std::sin(kTwoPi * f0_ * hv * t_) / hv;
+    }
+    s = static_cast<Sample>(amp_ * wobble * v / 1.5);
+    t_ += 1.0 / fs_;
+  }
+}
+
+void MachineHumSource::reset() {
+  t_ = 0.0;
+  wobble_state_ = 0.0;
+  rng_ = Rng(seed_);
+}
+
+// ---------------------------------------------------------------- chirp
+
+ChirpSource::ChirpSource(double f0_hz, double f1_hz, double duration_s,
+                         double amplitude, double sample_rate)
+    : f0_(f0_hz), f1_(f1_hz), dur_(duration_s), amp_(amplitude),
+      fs_(sample_rate) {
+  ensure(duration_s > 0, "duration must be positive");
+  ensure(f0_hz >= 0 && f1_hz < sample_rate / 2, "sweep must stay below Nyquist");
+}
+
+void ChirpSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    const double frac = t_ / dur_;
+    const double f = f0_ + (f1_ - f0_) * frac;
+    phase_ = wrap_phase(phase_ + kTwoPi * f / fs_);
+    s = static_cast<Sample>(amp_ * std::sin(phase_));
+    t_ += 1.0 / fs_;
+    if (t_ >= dur_) t_ = 0.0;  // repeat sweep
+  }
+}
+
+void ChirpSource::reset() {
+  t_ = 0.0;
+  phase_ = 0.0;
+}
+
+// ----------------------------------------------------------- intermittent
+
+IntermittentSource::IntermittentSource(SourcePtr inner, double sample_rate,
+                                       double min_on_s, double max_on_s,
+                                       double min_off_s, double max_off_s,
+                                       std::uint64_t seed, double ramp_s)
+    : inner_(std::move(inner)), fs_(sample_rate), min_on_(min_on_s),
+      max_on_(max_on_s), min_off_(min_off_s), max_off_(max_off_s),
+      ramp_(ramp_s), seed_(seed), rng_(seed) {
+  ensure(inner_ != nullptr, "inner source required");
+  ensure(min_on_s > 0 && max_on_s >= min_on_s, "invalid on-durations");
+  ensure(min_off_s >= 0 && max_off_s >= min_off_s, "invalid off-durations");
+  ramp_samples_ = static_cast<std::size_t>(ramp_s * sample_rate);
+  on_ = false;  // start silent so convergence-from-quiet is exercised
+  draw_segment();
+}
+
+void IntermittentSource::draw_segment() {
+  on_ = !on_;
+  const double dur = on_ ? rng_.uniform(min_on_, max_on_)
+                         : rng_.uniform(min_off_, max_off_);
+  segment_len_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(dur * fs_));
+  segment_pos_ = 0;
+}
+
+void IntermittentSource::render(std::span<Sample> out) {
+  std::size_t i = 0;
+  Signal scratch;
+  while (i < out.size()) {
+    const std::size_t run =
+        std::min(out.size() - i, segment_len_ - segment_pos_);
+    if (on_) {
+      scratch.resize(run);
+      inner_->render(scratch);
+      for (std::size_t j = 0; j < run; ++j) {
+        // Cosine ramp at burst boundaries.
+        double g = 1.0;
+        const std::size_t pos = segment_pos_ + j;
+        if (ramp_samples_ > 0) {
+          if (pos < ramp_samples_) {
+            g = 0.5 - 0.5 * std::cos(kPi * static_cast<double>(pos) /
+                                     static_cast<double>(ramp_samples_));
+          } else if (segment_len_ - pos <= ramp_samples_) {
+            g = 0.5 - 0.5 * std::cos(kPi * static_cast<double>(segment_len_ - pos) /
+                                     static_cast<double>(ramp_samples_));
+          }
+        }
+        out[i + j] = static_cast<Sample>(static_cast<double>(scratch[j]) * g);
+      }
+    } else {
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(i),
+                out.begin() + static_cast<std::ptrdiff_t>(i + run), 0.0f);
+    }
+    i += run;
+    segment_pos_ += run;
+    if (segment_pos_ >= segment_len_) draw_segment();
+  }
+}
+
+void IntermittentSource::reset() {
+  inner_->reset();
+  rng_ = Rng(seed_);
+  on_ = false;
+  draw_segment();
+}
+
+std::string IntermittentSource::name() const {
+  return "intermittent(" + inner_->name() + ")";
+}
+
+// ---------------------------------------------------------------- gated
+
+GatedSource::GatedSource(SourcePtr inner, double sample_rate, double period_s,
+                         double on_fraction, double phase_s, double ramp_s)
+    : inner_(std::move(inner)),
+      period_(static_cast<std::size_t>(period_s * sample_rate)),
+      on_len_(static_cast<std::size_t>(period_s * on_fraction * sample_rate)),
+      ramp_(static_cast<std::size_t>(ramp_s * sample_rate)),
+      phase_(static_cast<std::size_t>(phase_s * sample_rate)) {
+  ensure(inner_ != nullptr, "inner source required");
+  ensure(period_ >= 2, "period too short");
+  ensure(on_fraction > 0 && on_fraction <= 1.0, "on fraction in (0, 1]");
+  ensure(ramp_ * 2 <= on_len_, "ramp longer than the on-segment");
+}
+
+double GatedSource::gate_gain(std::size_t pos_in_period) const {
+  if (pos_in_period >= on_len_) return 0.0;
+  if (ramp_ == 0) return 1.0;
+  if (pos_in_period < ramp_) {
+    return 0.5 - 0.5 * std::cos(kPi * static_cast<double>(pos_in_period) /
+                                static_cast<double>(ramp_));
+  }
+  const std::size_t from_end = on_len_ - pos_in_period;
+  if (from_end <= ramp_) {
+    return 0.5 - 0.5 * std::cos(kPi * static_cast<double>(from_end) /
+                                static_cast<double>(ramp_));
+  }
+  return 1.0;
+}
+
+void GatedSource::render(std::span<Sample> out) {
+  inner_->render(out);
+  for (Sample& s : out) {
+    const std::size_t pos = (t_ + phase_) % period_;
+    s = static_cast<Sample>(static_cast<double>(s) * gate_gain(pos));
+    ++t_;
+  }
+}
+
+void GatedSource::reset() {
+  inner_->reset();
+  t_ = 0;
+}
+
+std::string GatedSource::name() const {
+  return "gated(" + inner_->name() + ")";
+}
+
+bool GatedSource::active() const {
+  return (t_ + phase_) % period_ < on_len_;
+}
+
+// --------------------------------------------------------------- buffer
+
+BufferSource::BufferSource(Signal samples, std::string label)
+    : samples_(std::move(samples)), label_(std::move(label)) {
+  ensure(!samples_.empty(), "buffer source needs samples");
+}
+
+void BufferSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    s = samples_[pos_];
+    pos_ = (pos_ + 1) % samples_.size();
+  }
+}
+
+void BufferSource::reset() { pos_ = 0; }
+
+// ------------------------------------------------------------- filtered
+
+FilteredSource::FilteredSource(SourcePtr inner,
+                               mute::dsp::BiquadCascade shape,
+                               std::string label)
+    : inner_(std::move(inner)), shape_(std::move(shape)),
+      label_(std::move(label)) {
+  ensure(inner_ != nullptr, "inner source required");
+}
+
+void FilteredSource::render(std::span<Sample> out) {
+  inner_->render(out);
+  for (Sample& s : out) s = shape_.process(s);
+}
+
+void FilteredSource::reset() {
+  inner_->reset();
+  shape_.reset();
+}
+
+// ------------------------------------------------------------------ mix
+
+MixSource::MixSource(std::vector<SourcePtr> parts) : parts_(std::move(parts)) {
+  ensure(!parts_.empty(), "mix needs at least one source");
+  for (const auto& p : parts_) ensure(p != nullptr, "null source in mix");
+}
+
+void MixSource::render(std::span<Sample> out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  scratch_.resize(out.size());
+  for (auto& p : parts_) {
+    p->render(scratch_);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<Sample>(static_cast<double>(out[i]) +
+                                   static_cast<double>(scratch_[i]));
+    }
+  }
+}
+
+void MixSource::reset() {
+  for (auto& p : parts_) p->reset();
+}
+
+}  // namespace mute::audio

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audio/source.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsp/biquad.hpp"
+
+namespace mute::audio {
+
+/// Gaussian white noise with configurable RMS amplitude.
+class WhiteNoiseSource final : public SoundSource {
+ public:
+  WhiteNoiseSource(double rms_amplitude, std::uint64_t seed);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "white_noise"; }
+
+ private:
+  double rms_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Pink (1/f) noise via the Voss-McCartney row algorithm.
+class PinkNoiseSource final : public SoundSource {
+ public:
+  PinkNoiseSource(double rms_amplitude, std::uint64_t seed,
+                  std::size_t rows = 12);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "pink_noise"; }
+
+ private:
+  void reseed();
+  double rms_;
+  std::uint64_t seed_;
+  std::size_t rows_;
+  Rng rng_;
+  std::vector<double> row_values_;
+  std::uint64_t counter_ = 0;
+  double running_sum_ = 0.0;
+};
+
+/// Pure sine tone.
+class ToneSource final : public SoundSource {
+ public:
+  ToneSource(double freq_hz, double amplitude, double sample_rate,
+             double phase = 0.0);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "tone"; }
+
+ private:
+  double freq_, amp_, fs_, phase0_, phase_;
+};
+
+/// Harmonic stack approximating rotating-machine hum: a fundamental plus
+/// decaying harmonics and slight amplitude wobble.
+class MachineHumSource final : public SoundSource {
+ public:
+  MachineHumSource(double fundamental_hz, double amplitude, double sample_rate,
+                   std::uint64_t seed, std::size_t harmonics = 6);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "machine_hum"; }
+
+ private:
+  double f0_, amp_, fs_;
+  std::uint64_t seed_;
+  std::size_t harmonics_;
+  Rng rng_;
+  double t_ = 0.0;
+  double wobble_state_ = 0.0;
+};
+
+/// Linear sweep from f0 to f1 over `duration_s`, then repeats.
+class ChirpSource final : public SoundSource {
+ public:
+  ChirpSource(double f0_hz, double f1_hz, double duration_s, double amplitude,
+              double sample_rate);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "chirp"; }
+
+ private:
+  double f0_, f1_, dur_, amp_, fs_;
+  double t_ = 0.0, phase_ = 0.0;
+};
+
+/// Wraps another source with on/off bursts (speech-pause structure):
+/// on for duration drawn U[min_on,max_on], off for U[min_off,max_off].
+/// Transitions use a short cosine ramp to avoid clicks.
+class IntermittentSource final : public SoundSource {
+ public:
+  IntermittentSource(SourcePtr inner, double sample_rate, double min_on_s,
+                     double max_on_s, double min_off_s, double max_off_s,
+                     std::uint64_t seed, double ramp_s = 0.01);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override;
+
+  /// True if the source is currently inside an "on" burst.
+  bool active() const { return on_; }
+
+ private:
+  void draw_segment();
+  SourcePtr inner_;
+  double fs_, min_on_, max_on_, min_off_, max_off_, ramp_;
+  std::uint64_t seed_;
+  Rng rng_;
+  bool on_ = false;
+  std::size_t remaining_ = 0;
+  std::size_t ramp_samples_ = 0;
+  std::size_t segment_len_ = 0;
+  std::size_t segment_pos_ = 0;
+};
+
+/// Deterministic periodic gate around another source: ON for
+/// `on_fraction` of each `period_s`, starting at `phase_s`. Lets two
+/// sources at different positions alternate with exact anti-phase — the
+/// "one dominant source at any given time" regime of the paper's
+/// profiling experiment (Section 3.2 / Figure 17).
+class GatedSource final : public SoundSource {
+ public:
+  GatedSource(SourcePtr inner, double sample_rate, double period_s,
+              double on_fraction, double phase_s = 0.0, double ramp_s = 0.02);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override;
+
+  bool active() const;
+
+ private:
+  double gate_gain(std::size_t pos_in_period) const;
+  SourcePtr inner_;
+  std::size_t period_;
+  std::size_t on_len_;
+  std::size_t ramp_;
+  std::size_t phase_;
+  std::size_t t_ = 0;
+};
+
+/// A source that plays a fixed buffer (looping).
+class BufferSource final : public SoundSource {
+ public:
+  BufferSource(Signal samples, std::string label = "buffer");
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return label_; }
+
+ private:
+  Signal samples_;
+  std::string label_;
+  std::size_t pos_ = 0;
+};
+
+/// Spectrally shapes another source through a biquad cascade (e.g.
+/// voice-band noise = white noise through a band-pass). Profiling
+/// experiments rely on sources with distinct spectral signatures.
+class FilteredSource final : public SoundSource {
+ public:
+  FilteredSource(SourcePtr inner, mute::dsp::BiquadCascade shape,
+                 std::string label = "filtered");
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return label_; }
+
+ private:
+  SourcePtr inner_;
+  mute::dsp::BiquadCascade shape_;
+  std::string label_;
+};
+
+/// Mixes several sources sample-by-sample.
+class MixSource final : public SoundSource {
+ public:
+  explicit MixSource(std::vector<SourcePtr> parts);
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "mix"; }
+
+ private:
+  std::vector<SourcePtr> parts_;
+  Signal scratch_;
+};
+
+}  // namespace mute::audio

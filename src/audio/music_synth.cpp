@@ -1,0 +1,85 @@
+#include "audio/music_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::audio {
+
+namespace {
+
+// Minor-pentatonic scale degrees in semitones.
+constexpr int kScale[] = {0, 3, 5, 7, 10, 12, 15, 17};
+
+double semitones_to_ratio(int s) { return std::pow(2.0, s / 12.0); }
+
+}  // namespace
+
+MusicSource::MusicSource(MusicParams params, double sample_rate,
+                         std::uint64_t seed)
+    : params_(params), fs_(sample_rate), seed_(seed), rng_(seed) {
+  ensure(sample_rate > 0, "sample rate must be positive");
+  ensure(params.tempo_bpm > 20 && params.tempo_bpm < 300, "unreasonable tempo");
+  ensure(params.harmonics >= 1, "need >= 1 harmonic");
+  next_step();
+}
+
+void MusicSource::next_step() {
+  // Eighth-note steps.
+  step_len_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fs_ * 30.0 / params_.tempo_bpm));
+  step_pos_ = 0;
+  voices_.clear();
+  if (rng_.bernoulli(params_.rest_probability)) return;  // rest
+
+  // Random walk on the scale.
+  scale_degree_ += static_cast<int>(rng_.uniform_int(-2, 2));
+  scale_degree_ = std::clamp(scale_degree_, 0, 7);
+  const double base =
+      params_.root_hz * semitones_to_ratio(kScale[scale_degree_]);
+  voices_.push_back({base, rng_.uniform(0.0, kTwoPi)});
+  if (rng_.bernoulli(params_.chord_probability)) {
+    voices_.push_back({base * semitones_to_ratio(3), rng_.uniform(0.0, kTwoPi)});
+    voices_.push_back({base * semitones_to_ratio(7), rng_.uniform(0.0, kTwoPi)});
+  }
+}
+
+double MusicSource::envelope(double t_in_note) const {
+  // Pluck-style ADSR: 5 ms attack, exponential decay.
+  const double attack = 0.005;
+  if (t_in_note < attack) return t_in_note / attack;
+  return std::exp(-(t_in_note - attack) * 4.0);
+}
+
+void MusicSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    if (step_pos_ >= step_len_) next_step();
+    double v = 0.0;
+    const double t = static_cast<double>(step_pos_) / fs_;
+    const double env = envelope(t);
+    for (auto& voice : voices_) {
+      for (std::size_t h = 1; h <= params_.harmonics; ++h) {
+        const double hf = voice.freq * static_cast<double>(h);
+        if (hf >= 0.45 * fs_) break;
+        // Harmonic rolloff 1/h^1.5 plus faster decay of high partials.
+        const double gain =
+            std::pow(static_cast<double>(h), -1.5) *
+            std::exp(-t * 2.0 * static_cast<double>(h - 1));
+        v += gain * std::sin(kTwoPi * hf * t + voice.phase);
+      }
+    }
+    const double norm = voices_.empty() ? 1.0 : 1.0 / std::sqrt(static_cast<double>(voices_.size()));
+    s = static_cast<Sample>(params_.amplitude * env * v * norm);
+    ++step_pos_;
+  }
+}
+
+void MusicSource::reset() {
+  rng_ = Rng(seed_);
+  scale_degree_ = 0;
+  next_step();
+}
+
+}  // namespace mute::audio

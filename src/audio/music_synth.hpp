@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audio/source.hpp"
+#include "common/rng.hpp"
+
+namespace mute::audio {
+
+/// Parameters for the additive music synthesizer: a monophonic-with-chords
+/// note sequencer over a pentatonic scale, each note rendered as a stack of
+/// decaying harmonics with an ADSR envelope. Approximates the "music"
+/// workload of the paper's Figure 14/15 experiments: tonal, wide-band,
+/// with note-rate amplitude dynamics.
+struct MusicParams {
+  double tempo_bpm = 96.0;
+  double root_hz = 220.0;          // A3
+  std::size_t harmonics = 8;
+  double amplitude = 0.25;
+  double chord_probability = 0.3;  // chance a step plays a triad
+  double rest_probability = 0.1;   // chance a step is silent
+};
+
+class MusicSource final : public SoundSource {
+ public:
+  MusicSource(MusicParams params, double sample_rate, std::uint64_t seed);
+
+  void render(std::span<Sample> out) override;
+  void reset() override;
+  std::string name() const override { return "music"; }
+
+ private:
+  struct Voice {
+    double freq = 0.0;
+    double phase = 0.0;
+  };
+
+  void next_step();
+  double envelope(double t_in_note) const;
+
+  MusicParams params_;
+  double fs_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<Voice> voices_;
+  std::size_t step_len_ = 1;
+  std::size_t step_pos_ = 0;
+  int scale_degree_ = 0;
+};
+
+}  // namespace mute::audio

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mute::audio {
+
+/// A mono sound source that can render any number of samples on demand.
+/// Sources are deterministic given their seed, so experiments replay
+/// identically.
+class SoundSource {
+ public:
+  virtual ~SoundSource() = default;
+
+  /// Render the next `out.size()` samples, advancing internal time.
+  virtual void render(std::span<Sample> out) = 0;
+
+  /// Restart from t = 0 (same seed -> identical samples again).
+  virtual void reset() = 0;
+
+  /// Short human-readable identification for reports.
+  virtual std::string name() const = 0;
+
+  /// Convenience: render `n` samples into a fresh buffer.
+  Signal generate(std::size_t n) {
+    Signal out(n);
+    render(out);
+    return out;
+  }
+};
+
+using SourcePtr = std::unique_ptr<SoundSource>;
+
+}  // namespace mute::audio

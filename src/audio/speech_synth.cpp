@@ -1,0 +1,152 @@
+#include "audio/speech_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::audio {
+
+namespace {
+
+// A small vowel inventory: {F1, F2, F3} in Hz (rough adult male values;
+// scaled up ~15% for the female preset via pitch-linked scaling below).
+constexpr std::array<std::array<double, 3>, 5> kVowels = {{
+    {730.0, 1090.0, 2440.0},  // /a/
+    {530.0, 1840.0, 2480.0},  // /e/
+    {270.0, 2290.0, 3010.0},  // /i/
+    {570.0, 840.0, 2410.0},   // /o/
+    {300.0, 870.0, 2240.0},   // /u/
+}};
+
+}  // namespace
+
+SpeechParams SpeechParams::male() {
+  SpeechParams p;
+  p.pitch_hz = 110.0;
+  return p;
+}
+
+SpeechParams SpeechParams::female() {
+  SpeechParams p;
+  p.pitch_hz = 210.0;
+  p.syllable_rate_hz = 4.5;
+  return p;
+}
+
+SpeechSource::SpeechSource(SpeechParams params, double sample_rate,
+                           std::uint64_t seed)
+    : params_(params), fs_(sample_rate), seed_(seed), rng_(seed),
+      formants_{mute::dsp::Biquad::bandpass(700, 6.0, sample_rate),
+                mute::dsp::Biquad::bandpass(1100, 8.0, sample_rate),
+                mute::dsp::Biquad::bandpass(2400, 10.0, sample_rate)} {
+  ensure(sample_rate >= 8000.0, "speech synthesis needs fs >= 8 kHz");
+  ensure(params.pitch_hz > 50 && params.pitch_hz < 400, "unreasonable pitch");
+  rebuild();
+}
+
+void SpeechSource::rebuild() {
+  rng_ = Rng(seed_);
+  pitch_now_ = params_.pitch_hz;
+  glottal_phase_ = 0.0;
+  in_sentence_ = false;
+  state_remaining_ = 0;
+  syllable_remaining_ = 0;
+  next_sentence_state();
+  next_syllable();
+}
+
+void SpeechSource::next_sentence_state() {
+  in_sentence_ = !in_sentence_;
+  if (params_.continuous) in_sentence_ = true;
+  const double mean = in_sentence_ ? params_.sentence_s : params_.pause_s;
+  // Exponential-ish duration with a floor, capped at 4x mean.
+  const double dur =
+      std::min(4.0 * mean, std::max(0.3 * mean, -mean * std::log(rng_.uniform(0.05, 1.0))));
+  state_remaining_ =
+      std::max<std::size_t>(1, static_cast<std::size_t>(dur * fs_));
+}
+
+void SpeechSource::next_syllable() {
+  const double rate = params_.syllable_rate_hz * rng_.uniform(0.7, 1.4);
+  syllable_len_ =
+      std::max<std::size_t>(1, static_cast<std::size_t>(fs_ / rate));
+  syllable_remaining_ = syllable_len_;
+  syllable_pos_ = 0.0;
+  syllable_voiced_ = rng_.bernoulli(params_.voiced_fraction);
+  // Pick a vowel; scale formants with pitch (higher-pitched voices have
+  // proportionally higher vocal-tract resonances, ~15% female shift).
+  const auto& v = kVowels[static_cast<std::size_t>(rng_.uniform_int(0, 4))];
+  const double scale = 1.0 + 0.15 * (params_.pitch_hz - 110.0) / 100.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    target_formants_[i] = std::min(v[i] * scale, 0.45 * fs_);
+  }
+  // Small random pitch drift per syllable (prosody).
+  pitch_now_ = params_.pitch_hz * rng_.uniform(0.9, 1.15);
+}
+
+double SpeechSource::excitation_sample() {
+  if (!syllable_voiced_) {
+    return 0.35 * rng_.gaussian();  // fricative-like noise
+  }
+  // Rosenberg-flavored glottal pulse: asymmetric raised-cosine per period
+  // plus a little aspiration noise.
+  const double jitter = 1.0 + params_.pitch_jitter * rng_.gaussian();
+  glottal_phase_ += pitch_now_ * jitter / fs_;
+  if (glottal_phase_ >= 1.0) glottal_phase_ -= 1.0;
+  const double open = 0.6;  // open-quotient of the glottal cycle
+  double g = 0.0;
+  if (glottal_phase_ < open) {
+    g = 0.5 * (1.0 - std::cos(kPi * glottal_phase_ / open)) *
+        std::sin(kPi * glottal_phase_ / open);
+  }
+  return g + 0.05 * rng_.gaussian();
+}
+
+void SpeechSource::render(std::span<Sample> out) {
+  for (Sample& s : out) {
+    if (state_remaining_ == 0) next_sentence_state();
+    --state_remaining_;
+
+    if (!in_sentence_) {
+      s = 0.0f;
+      continue;
+    }
+    if (syllable_remaining_ == 0) next_syllable();
+    --syllable_remaining_;
+    syllable_pos_ += 1.0;
+
+    // Glide formants toward the syllable target (coarticulation).
+    for (std::size_t i = 0; i < 3; ++i) {
+      current_formants_[i] += 0.002 * (target_formants_[i] - current_formants_[i]);
+      if (current_formants_[i] < 100.0) current_formants_[i] = target_formants_[i];
+    }
+    formants_[0] = mute::dsp::Biquad::bandpass(current_formants_[0], 6.0, fs_);
+    formants_[1] = mute::dsp::Biquad::bandpass(current_formants_[1], 8.0, fs_);
+    formants_[2] = mute::dsp::Biquad::bandpass(current_formants_[2], 10.0, fs_);
+
+    const double exc = excitation_sample();
+    double v = 0.0;
+    v += 1.0 * static_cast<double>(formants_[0].process(static_cast<Sample>(exc)));
+    v += 0.6 * static_cast<double>(formants_[1].process(static_cast<Sample>(exc)));
+    v += 0.3 * static_cast<double>(formants_[2].process(static_cast<Sample>(exc)));
+
+    // Syllable amplitude envelope (rise-fall) with a floor: natural
+    // speech never drops to silence between syllables within a sentence
+    // (coarticulation), and a zero floor makes the synthetic workload
+    // pathologically non-stationary.
+    const double frac = syllable_pos_ / static_cast<double>(syllable_len_);
+    const double env =
+        0.35 + 0.65 * std::sin(kPi * std::clamp(frac, 0.0, 1.0));
+    s = static_cast<Sample>(params_.amplitude * env * v * 4.0);
+  }
+}
+
+void SpeechSource::reset() { rebuild(); }
+
+std::string SpeechSource::name() const {
+  return params_.pitch_hz >= 180.0 ? "female_voice" : "male_voice";
+}
+
+}  // namespace mute::audio

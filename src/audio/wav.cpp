@@ -1,0 +1,136 @@
+#include "audio/wav.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mute::audio {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  b.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  b.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  b.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_tag(std::vector<std::uint8_t>& b, const char* tag) {
+  b.insert(b.end(), tag, tag + 4);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const WavData& data) {
+  const std::uint32_t n = static_cast<std::uint32_t>(data.samples.size());
+  const std::uint32_t byte_rate = static_cast<std::uint32_t>(data.sample_rate) * 2;
+  const std::uint32_t data_bytes = n * 2;
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(44 + data_bytes);
+  put_tag(buf, "RIFF");
+  put_u32(buf, 36 + data_bytes);
+  put_tag(buf, "WAVE");
+  put_tag(buf, "fmt ");
+  put_u32(buf, 16);                 // PCM fmt chunk size
+  put_u16(buf, 1);                  // PCM
+  put_u16(buf, 1);                  // mono
+  put_u32(buf, static_cast<std::uint32_t>(data.sample_rate));
+  put_u32(buf, byte_rate);
+  put_u16(buf, 2);                  // block align
+  put_u16(buf, 16);                 // bits per sample
+  put_tag(buf, "data");
+  put_u32(buf, data_bytes);
+  for (Sample s : data.samples) {
+    const double clamped = std::clamp(static_cast<double>(s), -1.0, 1.0);
+    const auto v = static_cast<std::int16_t>(std::lround(clamped * 32767.0));
+    put_u16(buf, static_cast<std::uint16_t>(v));
+  }
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+WavData read_wav(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+  if (buf.size() < 44 || std::memcmp(buf.data(), "RIFF", 4) != 0 ||
+      std::memcmp(buf.data() + 8, "WAVE", 4) != 0) {
+    throw std::runtime_error("not a RIFF/WAVE file: " + path);
+  }
+
+  // Walk chunks to find fmt and data.
+  std::size_t pos = 12;
+  std::uint16_t format = 0, channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  const std::uint8_t* data_ptr = nullptr;
+  std::uint32_t data_len = 0;
+  while (pos + 8 <= buf.size()) {
+    const std::uint32_t chunk_len = get_u32(buf.data() + pos + 4);
+    const std::uint8_t* body = buf.data() + pos + 8;
+    if (pos + 8 + chunk_len > buf.size()) break;
+    if (std::memcmp(buf.data() + pos, "fmt ", 4) == 0 && chunk_len >= 16) {
+      format = get_u16(body);
+      channels = get_u16(body + 2);
+      rate = get_u32(body + 4);
+      bits = get_u16(body + 14);
+    } else if (std::memcmp(buf.data() + pos, "data", 4) == 0) {
+      data_ptr = body;
+      data_len = chunk_len;
+    }
+    pos += 8 + chunk_len + (chunk_len & 1);  // chunks are 2-byte aligned
+  }
+  if (data_ptr == nullptr || channels == 0 || rate == 0) {
+    throw std::runtime_error("missing fmt/data chunk: " + path);
+  }
+
+  WavData out;
+  out.sample_rate = static_cast<double>(rate);
+  if (format == 1 && bits == 16) {
+    const std::size_t frames = data_len / (2u * channels);
+    out.samples.resize(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+      const auto v = static_cast<std::int16_t>(
+          get_u16(data_ptr + i * 2u * channels));
+      out.samples[i] = static_cast<Sample>(v / 32768.0);
+    }
+  } else if (format == 3 && bits == 32) {
+    const std::size_t frames = data_len / (4u * channels);
+    out.samples.resize(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+      float v;
+      std::memcpy(&v, data_ptr + i * 4u * channels, 4);
+      out.samples[i] = v;
+    }
+  } else {
+    throw std::runtime_error("unsupported WAV encoding (want PCM16 or float32)");
+  }
+  return out;
+}
+
+}  // namespace mute::audio

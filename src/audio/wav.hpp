@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mute::audio {
+
+/// A mono waveform with its sampling rate, as read from / written to disk.
+struct WavData {
+  Signal samples;
+  double sample_rate = kDefaultSampleRate;
+};
+
+/// Write a mono 16-bit PCM WAV file. Samples are clipped to [-1, 1].
+/// Throws std::runtime_error on I/O failure.
+void write_wav(const std::string& path, const WavData& data);
+
+/// Read a WAV file (PCM 16-bit or IEEE float 32-bit, mono or first channel
+/// of multi-channel). Throws std::runtime_error on parse/I/O failure.
+WavData read_wav(const std::string& path);
+
+}  // namespace mute::audio

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mute {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Validate a documented precondition; throws PreconditionError on failure.
+inline void ensure(bool condition, const std::string& what,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.function_name()) + ": " + what);
+  }
+}
+
+/// Validate an internal invariant; throws InvariantError on failure.
+inline void invariant(bool condition, const std::string& what,
+                      std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.function_name()) + ": " + what);
+  }
+}
+
+}  // namespace mute

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mute {
+
+/// Deterministic random source used across the library. Every generator,
+/// channel impairment and synthesizer takes an explicit seed so that tests
+/// and benchmark figures are exactly reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Standard normal (mean 0, unit variance) draw.
+  double gaussian() { return normal_(engine_); }
+
+  /// Gaussian with explicit standard deviation.
+  double gaussian(double stddev) { return stddev * normal_(engine_); }
+
+  /// Uniform draw in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork() { return Rng(engine_() ^ 0x9E3779B97F4A7C15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace mute

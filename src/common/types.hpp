@@ -1,0 +1,41 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Fundamental sample types and physical constants shared by every module.
+namespace mute {
+
+/// Audio samples are single-precision; filter accumulation uses double.
+using Sample = float;
+using Accum = double;
+
+/// A contiguous block of audio samples in the time domain.
+using Signal = std::vector<Sample>;
+
+/// Complex baseband samples for the RF path.
+using Complex = std::complex<double>;
+using ComplexSignal = std::vector<Complex>;
+
+/// Speed of sound in air at ~20 C, meters per second (paper uses 340 m/s).
+inline constexpr double kSpeedOfSound = 340.0;
+
+/// Speed of light, meters per second; RF propagation is effectively
+/// instantaneous at room scale (~3 ns for 1 m).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Default audio sampling rate. The paper's TMS320C6713 sampled at 8 kHz
+/// (0-4 kHz cancellation band); we default to 16 kHz so that the headphone
+/// baseline's sub-130 microsecond timing budget is representable with
+/// reasonable resolution, and evaluate the same 0-4 kHz band.
+inline constexpr double kDefaultSampleRate = 16'000.0;
+
+/// Default complex-baseband rate for the FM relay simulation.
+inline constexpr double kDefaultRfSampleRate = 256'000.0;
+
+/// Upper edge of the cancellation band reported in the paper.
+inline constexpr double kEvalBandHz = 4'000.0;
+
+}  // namespace mute

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace mute::core {
+
+/// Per-profile cache of converged adaptive-filter weight vectors
+/// (Section 3.2 "Predict and Switch": LANC caches the coefficient vector
+/// for each sound profile and reloads it at transitions instead of
+/// re-converging by gradient descent).
+class FilterCache {
+ public:
+  /// Save (overwrite) the weights for a profile.
+  void store(std::size_t profile_id, std::span<const double> weights) {
+    cache_[profile_id].assign(weights.begin(), weights.end());
+  }
+
+  /// Retrieve the cached weights, if this profile has been seen before.
+  std::optional<std::span<const double>> load(std::size_t profile_id) const {
+    const auto it = cache_.find(profile_id);
+    if (it == cache_.end()) return std::nullopt;
+    return std::span<const double>(it->second);
+  }
+
+  bool contains(std::size_t profile_id) const {
+    return cache_.count(profile_id) != 0;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  std::unordered_map<std::size_t, std::vector<double>> cache_;
+};
+
+}  // namespace mute::core

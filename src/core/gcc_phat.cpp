@@ -1,0 +1,66 @@
+#include "core/gcc_phat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+
+namespace mute::core {
+
+GccPhatResult gcc_phat(std::span<const Sample> reference,
+                       std::span<const Sample> delayed, double sample_rate,
+                       double max_lag_s) {
+  ensure(reference.size() == delayed.size(), "records must be equal length");
+  ensure(reference.size() >= 64, "records too short for GCC-PHAT");
+  ensure(sample_rate > 0, "sample rate must be positive");
+
+  const std::size_t n = reference.size();
+  const std::size_t nfft = next_pow2(2 * n);
+  ComplexSignal fr(nfft), fd(nfft);
+  for (std::size_t i = 0; i < n; ++i) {
+    fr[i] = static_cast<double>(reference[i]);
+    fd[i] = static_cast<double>(delayed[i]);
+  }
+  mute::dsp::fft_inplace(fr);
+  mute::dsp::fft_inplace(fd);
+
+  // Cross-spectrum with PHAT weighting: keep only phase information so
+  // reverberant magnitude structure cannot smear the peak.
+  for (std::size_t k = 0; k < nfft; ++k) {
+    const Complex cross = fd[k] * std::conj(fr[k]);
+    const double mag = std::abs(cross);
+    fr[k] = (mag > 1e-15) ? cross / mag : Complex(0.0, 0.0);
+  }
+  mute::dsp::ifft_inplace(fr);
+
+  const auto max_lag = static_cast<std::ptrdiff_t>(
+      std::min<double>(max_lag_s * sample_rate, static_cast<double>(n - 1)));
+  GccPhatResult out;
+  out.lag_s.reserve(static_cast<std::size_t>(2 * max_lag + 1));
+  out.correlation.reserve(out.lag_s.capacity());
+
+  double best_v = -1.0;
+  double best_lag = 0.0;
+  for (std::ptrdiff_t lag = -max_lag; lag <= max_lag; ++lag) {
+    // Positive lag: `delayed` trails `reference` by `lag` samples; that
+    // correlation lives at index `lag`, negative lags wrap to nfft + lag.
+    const std::size_t idx =
+        lag >= 0 ? static_cast<std::size_t>(lag)
+                 : nfft - static_cast<std::size_t>(-lag);
+    const double v = fr[idx].real();
+    const double lag_seconds = static_cast<double>(lag) / sample_rate;
+    out.lag_s.push_back(lag_seconds);
+    out.correlation.push_back(v);
+    if (v > best_v) {
+      best_v = v;
+      best_lag = lag_seconds;
+    }
+  }
+  out.peak_lag_s = best_lag;
+  out.peak_value = best_v;
+  return out;
+}
+
+}  // namespace mute::core

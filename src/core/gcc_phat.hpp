@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::core {
+
+/// Result of a GCC-PHAT cross-correlation between two recordings.
+struct GccPhatResult {
+  std::vector<double> lag_s;        // lag axis (seconds), negative..positive
+  std::vector<double> correlation;  // PHAT-weighted correlation per lag
+  double peak_lag_s = 0.0;          // argmax lag
+  double peak_value = 0.0;          // correlation at the peak
+};
+
+/// Generalized cross-correlation with phase transform (Brandstein &
+/// Silverman), the paper's Section 4.2 tool for deciding whether the
+/// wirelessly forwarded signal leads the acoustic arrival.
+///
+/// Convention: a *positive* peak lag means `delayed` is a delayed copy of
+/// `reference` — i.e. the relay (pass it as `reference`) heard the sound
+/// `peak_lag_s` seconds before the ear (pass its mic as `delayed`), so the
+/// lookahead is positive and the relay is usable.
+GccPhatResult gcc_phat(std::span<const Sample> reference,
+                       std::span<const Sample> delayed, double sample_rate,
+                       double max_lag_s = 0.05);
+
+}  // namespace mute::core

@@ -1,0 +1,130 @@
+#include "core/lanc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mute::core {
+
+LancController::LancController(std::vector<double> secondary_path_estimate,
+                               LancOptions options)
+    : opts_(options),
+      engine_(std::move(secondary_path_estimate), options.fxlms),
+      extractor_(options.sample_rate,
+                 /*fft_size=*/std::min<std::size_t>(options.profile_frame, 512)),
+      classifier_(options.classifier),
+      frame_buffer_(options.profile_frame, 0.0f) {
+  ensure(options.profile_hop >= 1, "profile hop must be >= 1");
+  ensure(options.profile_frame >= extractor_.fft_size(),
+         "profile frame must cover the signature FFT");
+  // Snapshots must reach back past the hysteresis window plus the
+  // scheduled-swap countdown (both measured in profiler frames).
+  snapshot_depth_ = options.switch_hysteresis +
+                    engine_.noncausal_taps() / options.profile_hop + 2;
+}
+
+Sample LancController::tick(Sample x_advanced) {
+  if (opts_.profiling) run_profiler(x_advanced);
+  const Sample y = engine_.step_output(x_advanced);
+  if (opts_.profiling && switch_countdown_ >= 0) {
+    if (switch_countdown_ == 0) apply_pending_switch();
+    --switch_countdown_;
+  }
+  return y;
+}
+
+void LancController::observe_error(Sample error) { engine_.adapt(error); }
+
+void LancController::run_profiler(Sample x_advanced) {
+  // Rolling frame of the advanced stream.
+  std::rotate(frame_buffer_.begin(), frame_buffer_.begin() + 1,
+              frame_buffer_.end());
+  frame_buffer_.back() = x_advanced;
+  if (frame_fill_ < frame_buffer_.size()) {
+    ++frame_fill_;
+    return;
+  }
+  if (++hop_counter_ < opts_.profile_hop) return;
+  hop_counter_ = 0;
+
+  weight_snapshots_.push_back(engine_.weights());
+  if (weight_snapshots_.size() > snapshot_depth_) {
+    weight_snapshots_.pop_front();
+  }
+
+  const auto sig = extractor_.extract(frame_buffer_);
+  const std::size_t id = classifier_.classify(sig);
+
+  recent_ids_.push_back(id);
+  if (recent_ids_.size() > opts_.switch_hysteresis) recent_ids_.pop_front();
+  if (recent_ids_.size() < opts_.switch_hysteresis ||
+      switch_countdown_ >= 0) {
+    return;
+  }
+  // Schedule a switch only when every frame in the window disagrees with
+  // the current profile; the target is the window's modal id.
+  std::size_t disagree = 0;
+  for (std::size_t v : recent_ids_) {
+    if (v != current_profile_) ++disagree;
+  }
+  if (disagree < recent_ids_.size()) return;
+  std::size_t best_id = recent_ids_.back();
+  std::size_t best_count = 0;
+  for (std::size_t v : recent_ids_) {
+    std::size_t count = 0;
+    for (std::size_t w : recent_ids_) count += (w == v);
+    if (count > best_count) {
+      best_count = count;
+      best_id = v;
+    }
+  }
+  // Demand a confident majority: if the window is a grab-bag of different
+  // ids (messy transition, classifier noise), wait rather than jump to a
+  // profile that may be wrong — a bad swap costs more than a late one.
+  if (best_count * 3 < recent_ids_.size() * 2) return;
+  // The transition was observed in the lookahead stream; it will reach
+  // the error microphone N samples from now — schedule the swap there.
+  pending_profile_ = best_id;
+  switch_countdown_ = static_cast<long>(engine_.noncausal_taps());
+  recent_ids_.clear();
+}
+
+void LancController::apply_pending_switch() {
+  if (pending_profile_ == current_profile_) return;
+  // Preserve the converged state of the outgoing profile — from BEFORE
+  // the transition was even suspected (oldest snapshot), not the current
+  // weights, which have been adapting toward the new profile throughout
+  // the hysteresis window.
+  if (!weight_snapshots_.empty()) {
+    cache_.store(current_profile_, weight_snapshots_.front());
+  } else {
+    cache_.store(current_profile_, engine_.weights());
+  }
+  // ...and restore the incoming profile's filter if we have met it before
+  // (otherwise keep adapting from the current weights: the first encounter
+  // converges by gradient descent, exactly like classic ANC).
+  if (const auto cached = cache_.load(pending_profile_)) {
+    engine_.set_weights(*cached);
+  }
+  // Old-profile snapshots are meaningless for the incoming profile.
+  weight_snapshots_.clear();
+  current_profile_ = pending_profile_;
+  ++switch_count_;
+}
+
+void LancController::reset() {
+  engine_.reset();
+  classifier_.reset();
+  cache_.clear();
+  weight_snapshots_.clear();
+  std::fill(frame_buffer_.begin(), frame_buffer_.end(), 0.0f);
+  frame_fill_ = 0;
+  hop_counter_ = 0;
+  current_profile_ = 0;
+  recent_ids_.clear();
+  switch_countdown_ = -1;
+  pending_profile_ = 0;
+  switch_count_ = 0;
+}
+
+}  // namespace mute::core

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "adaptive/fxlms.hpp"
+#include "common/types.hpp"
+#include "core/filter_cache.hpp"
+#include "core/profile.hpp"
+
+namespace mute::core {
+
+/// Configuration of the LANC controller.
+struct LancOptions {
+  mute::adaptive::FxlmsOptions fxlms{};  // noncausal_taps = usable lookahead
+  double sample_rate = kDefaultSampleRate;
+
+  // Predictive sound profiling (Section 3.2, opportunity 2).
+  bool profiling = false;
+  std::size_t profile_frame = 256;      // samples per signature frame
+  std::size_t profile_hop = 128;        // frames overlap 50%
+  // Consecutive agreeing frames before a switch is scheduled. Speech has
+  // syllable-scale (tens of ms) energy dips that must NOT trigger a swap;
+  // only sentence-scale transitions should (8 frames ~ 64 ms at 16 kHz).
+  std::size_t switch_hysteresis = 8;
+  ProfileClassifier::Options classifier{};
+};
+
+/// Lookahead-Aware Noise Cancellation — the paper's Algorithm 1 plus the
+/// predict-and-switch profiling layer.
+///
+/// The controller consumes the wirelessly forwarded reference stream,
+/// which runs `fxlms.noncausal_taps` samples *ahead* of the acoustic
+/// wavefront at the error microphone. Per audio tick:
+///
+///   Sample y = lanc.tick(x_advanced);   // anti-noise to play now
+///   ... the simulator/hardware mixes y acoustically ...
+///   lanc.observe_error(e);              // error-mic feedback, adapts
+///
+/// Profiling watches the *advanced* stream, so a profile transition is
+/// classified before the corresponding wavefront reaches the ear; the
+/// weight swap is scheduled to land exactly when it arrives.
+class LancController {
+ public:
+  LancController(std::vector<double> secondary_path_estimate,
+                 LancOptions options);
+
+  /// Push the newest advanced reference sample, run profiling, and return
+  /// the anti-noise sample for the current instant.
+  Sample tick(Sample x_advanced);
+
+  /// Feed back the error microphone sample for the tick just played.
+  void observe_error(Sample error);
+
+  /// Number of future taps N (== usable lookahead in samples).
+  std::size_t lookahead_samples() const {
+    return engine_.noncausal_taps();
+  }
+
+  std::size_t current_profile() const { return current_profile_; }
+  std::size_t profile_switch_count() const { return switch_count_; }
+  std::size_t profile_count() const { return classifier_.profile_count(); }
+
+  const mute::adaptive::FxlmsEngine& engine() const { return engine_; }
+  mute::adaptive::FxlmsEngine& engine() { return engine_; }
+  const LancOptions& options() const { return opts_; }
+
+  void reset();
+
+ private:
+  void run_profiler(Sample x_advanced);
+  void apply_pending_switch();
+
+  LancOptions opts_;
+  mute::adaptive::FxlmsEngine engine_;
+
+  // Profiling state.
+  SignatureExtractor extractor_;
+  ProfileClassifier classifier_;
+  FilterCache cache_;
+  // Pre-transition weight snapshots: a switch is confirmed only after the
+  // hysteresis window, by which time the LMS has already drifted toward
+  // the incoming profile. Caching the *current* weights would pollute the
+  // outgoing profile's entry with that drift, so a short ring of
+  // per-frame snapshots preserves the state from before the transition.
+  std::deque<std::vector<double>> weight_snapshots_;
+  std::size_t snapshot_depth_ = 4;
+  Signal frame_buffer_;            // rolling window of advanced samples
+  std::size_t frame_fill_ = 0;
+  std::size_t hop_counter_ = 0;
+  std::size_t current_profile_ = 0;
+  // Sliding window of recent frame classifications: a switch is scheduled
+  // when the whole window disagrees with the current profile, toward the
+  // window's modal id. (Counting *consecutive identical* ids instead
+  // deadlocks when the classifier flaps between two near-duplicate
+  // clusters of the same physical source.)
+  std::deque<std::size_t> recent_ids_;
+  long switch_countdown_ = -1;     // samples until a scheduled swap lands
+  std::size_t pending_profile_ = 0;
+  std::size_t switch_count_ = 0;
+};
+
+}  // namespace mute::core

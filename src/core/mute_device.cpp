@@ -1,0 +1,151 @@
+#include "core/mute_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mute::core {
+
+MuteDevice::MuteDevice(MuteDeviceConfig config)
+    : config_(config),
+      training_(config.training_rms, config.seed + 17),
+      selector_(config.relay_count, config.sample_rate,
+                config.selection_period_s, config.selection) {
+  ensure(config.sample_rate > 0, "sample rate must be positive");
+  ensure(config.relay_count >= 1, "need at least one relay");
+  ensure(config.calibration_s > 0, "calibration duration must be positive");
+  const auto cal_samples =
+      static_cast<std::size_t>(config.calibration_s * config.sample_rate);
+  stimulus_log_.reserve(cal_samples);
+  response_log_.reserve(cal_samples);
+}
+
+Sample MuteDevice::tick(std::span<const Sample> relay_samples,
+                        Sample error_sample) {
+  ensure(relay_samples.size() == config_.relay_count,
+         "one sample per relay required");
+
+  switch (state_) {
+    case State::kCalibrating: {
+      // The error mic currently hears the previous training sample through
+      // the secondary path: log the (stimulus, response) pair.
+      if (!stimulus_log_.empty() || last_training_sample_ != 0.0f) {
+        stimulus_log_.push_back(last_training_sample_);
+        response_log_.push_back(error_sample);
+      }
+      const auto cal_samples = static_cast<std::size_t>(
+          config_.calibration_s * config_.sample_rate);
+      if (stimulus_log_.size() >= cal_samples) {
+        finish_calibration();
+        return 0.0f;
+      }
+      Signal one(1);
+      training_.render(one);
+      last_training_sample_ = one[0];
+      return last_training_sample_;
+    }
+
+    case State::kListening: {
+      if (auto selection = selector_.push(relay_samples, error_sample)) {
+        handle_selection(*selection);
+      }
+      return 0.0f;
+    }
+
+    case State::kRunning: {
+      // Keep the periodic selection running (source may move).
+      if (auto selection = selector_.push(relay_samples, error_sample)) {
+        handle_selection(*selection);
+        if (state_ != State::kRunning) return 0.0f;
+      }
+      // `error_sample` is the microphone's reading of the PREVIOUS
+      // tick's field: adapt BEFORE pushing the new reference so the
+      // filtered-x history still lines up with it. Adapting after the
+      // push misaligns the gradient by one sample — 180 degrees of phase
+      // at Nyquist, enough to destabilize the loop.
+      lanc_->observe_error(error_sample);
+      const Sample y = lanc_->tick(relay_samples[*active_relay_]);
+      return y;
+    }
+  }
+  throw InvariantError("unreachable device state");
+}
+
+void MuteDevice::finish_calibration() {
+  calibration_ = adaptive::identify_system(stimulus_log_, response_log_,
+                                           config_.secondary_taps);
+  stimulus_log_.clear();
+  response_log_.clear();
+  last_training_sample_ = 0.0f;
+  state_ = State::kListening;
+}
+
+void MuteDevice::handle_selection(const RelaySelection& selection) {
+  if (!selection.chosen.has_value()) {
+    if (state_ != State::kRunning) return;
+    // While we are canceling, the error microphone hears the *residual*:
+    // a quiet, decorrelated error is what success looks like, so a
+    // low-confidence round must not evict the relay. Only a confident
+    // measurement of negative lookahead counts against it — and we demand
+    // two in a row (the paper would then nudge the user to reposition).
+    bool confident_adverse = false;
+    for (const auto& m : selection.all) {
+      if (m.confidence >= config_.selection.min_confidence &&
+          m.lookahead_s < config_.selection.min_lookahead_s) {
+        confident_adverse = true;
+      }
+    }
+    if (!confident_adverse) {
+      adverse_rounds_ = 0;
+      return;
+    }
+    if (++adverse_rounds_ < 2) return;
+    lanc_.reset();
+    active_relay_.reset();
+    lookahead_s_ = 0.0;
+    adverse_rounds_ = 0;
+    state_ = State::kListening;
+    return;
+  }
+
+  const auto chosen = selection.chosen->relay_index;
+  const double lookahead = selection.chosen->lookahead_s;
+  const bool relay_changed = !active_relay_ || *active_relay_ != chosen;
+
+  if (relay_changed && state_ == State::kRunning) {
+    // Switching away from a working relay also needs two confident rounds.
+    if (++adverse_rounds_ < 2) return;
+  }
+  adverse_rounds_ = 0;
+
+  if (!relay_changed) {
+    // Same relay re-confirmed. While running, the correlation runs against
+    // the residual rather than the raw ambient sound, so its lag is not a
+    // trustworthy lookahead estimate — keep the association but do not
+    // overwrite the measurement taken while listening.
+    if (state_ != State::kRunning) lookahead_s_ = lookahead;
+    state_ = State::kRunning;
+    return;
+  }
+
+  if (relay_changed) {
+    // (Re)build the LANC engine sized to this relay's usable lookahead.
+    const double usable = usable_lookahead_s(lookahead, config_.latency);
+    LancOptions opts = config_.lanc;
+    opts.sample_rate = config_.sample_rate;
+    opts.fxlms.noncausal_taps = std::min<std::size_t>(
+        config_.max_noncausal_taps,
+        lookahead_taps(usable, config_.sample_rate));
+    lanc_.emplace(calibration_.impulse_response, opts);
+    active_relay_ = chosen;
+  }
+  lookahead_s_ = lookahead;
+  state_ = State::kRunning;
+}
+
+std::size_t MuteDevice::noncausal_taps() const {
+  return lanc_ ? lanc_->lookahead_samples() : 0;
+}
+
+}  // namespace mute::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "adaptive/sysid.hpp"
+#include "audio/generators.hpp"
+#include "core/lanc.hpp"
+#include "core/relay_select.hpp"
+#include "core/timing.hpp"
+
+namespace mute::core {
+
+/// Configuration of a streaming MUTE ear device.
+struct MuteDeviceConfig {
+  double sample_rate = kDefaultSampleRate;
+  std::size_t relay_count = 1;
+
+  // Power-up secondary-path calibration (plays training noise).
+  double calibration_s = 2.0;
+  double training_rms = 0.1;
+  std::size_t secondary_taps = 256;
+
+  // Relay selection (Section 4.2): listen this long before choosing, and
+  // re-evaluate on the same cadence while running.
+  double selection_period_s = 1.0;
+  RelaySelectorOptions selection{};
+
+  // LANC configuration. `fxlms.noncausal_taps` is ignored: N is derived
+  // from the measured lookahead of the chosen relay minus the latency
+  // budget, capped by `max_noncausal_taps`.
+  LancOptions lanc{};
+  std::size_t max_noncausal_taps = 192;
+  LatencyBudget latency = LatencyBudget::mute_ear_device();
+
+  std::uint64_t seed = 1;
+};
+
+/// The streaming ear device: the online counterpart of the offline
+/// `sim::run_anc_simulation`. Drive it one audio tick at a time:
+///
+///   Sample speaker = device.tick(relay_samples, error_mic_sample);
+///
+/// where `relay_samples` holds the newest forwarded sample from each
+/// relay and `error_mic_sample` is the microphone's reading of the
+/// PREVIOUS tick's acoustic field (the natural causal ordering of real
+/// hardware). The device handles its own lifecycle:
+///
+///   kCalibrating  — plays training noise, identifies the secondary path;
+///   kListening    — silent; GCC-PHAT-correlates every relay against the
+///                   error mic until one offers positive lookahead;
+///   kRunning      — LANC on the chosen relay; keeps re-running selection
+///                   each period and re-arms if the relay changes or loses
+///                   its lookahead (the paper's "nudge the user" case maps
+///                   to a return to kListening).
+class MuteDevice {
+ public:
+  enum class State { kCalibrating, kListening, kRunning };
+
+  explicit MuteDevice(MuteDeviceConfig config);
+
+  /// One audio tick; returns the sample for the anti-noise speaker.
+  Sample tick(std::span<const Sample> relay_samples, Sample error_sample);
+
+  State state() const { return state_; }
+  std::optional<std::size_t> active_relay() const { return active_relay_; }
+
+  /// Measured lookahead of the active relay (seconds; 0 before selection).
+  double measured_lookahead_s() const { return lookahead_s_; }
+
+  /// Non-causal taps of the running LANC engine (0 before selection).
+  std::size_t noncausal_taps() const;
+
+  /// Secondary-path calibration result (empty before calibration ends).
+  const adaptive::SysIdResult& calibration() const { return calibration_; }
+
+  const MuteDeviceConfig& config() const { return config_; }
+
+ private:
+  void finish_calibration();
+  void handle_selection(const RelaySelection& selection);
+
+  MuteDeviceConfig config_;
+  State state_ = State::kCalibrating;
+
+  // Calibration machinery.
+  audio::WhiteNoiseSource training_;
+  Signal stimulus_log_;
+  Signal response_log_;
+  Sample last_training_sample_ = 0.0f;
+  adaptive::SysIdResult calibration_{};
+
+  // Selection machinery.
+  RelaySelector selector_;
+  std::optional<std::size_t> active_relay_;
+  double lookahead_s_ = 0.0;
+
+  // The running controller (created once a relay is chosen).
+  std::optional<LancController> lanc_;
+
+  // Re-selection hysteresis: while cancellation is active the error mic is
+  // (by design!) quiet, so GCC-PHAT rounds lose confidence or mis-peak.
+  // A low-confidence round is treated as evidence that cancellation works;
+  // only two consecutive confident adverse rounds change the association.
+  std::size_t adverse_rounds_ = 0;
+};
+
+}  // namespace mute::core

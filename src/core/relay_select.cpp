@@ -1,0 +1,67 @@
+#include "core/relay_select.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mute::core {
+
+RelaySelection select_relay(std::span<const Signal> relay_streams,
+                            std::span<const Sample> error_mic_stream,
+                            double sample_rate,
+                            const RelaySelectorOptions& options) {
+  ensure(!relay_streams.empty(), "need at least one relay stream");
+  RelaySelection out;
+  out.all.reserve(relay_streams.size());
+  for (std::size_t i = 0; i < relay_streams.size(); ++i) {
+    ensure(relay_streams[i].size() == error_mic_stream.size(),
+           "relay and error-mic records must be aligned");
+    const auto g = gcc_phat(relay_streams[i], error_mic_stream, sample_rate,
+                            options.max_lag_s);
+    RelayMeasurement m;
+    m.relay_index = i;
+    m.lookahead_s = g.peak_lag_s;  // positive: ear lags the relay
+    m.confidence = g.peak_value;
+    out.all.push_back(m);
+  }
+  // Pick the largest positive lookahead among confident measurements.
+  const RelayMeasurement* best = nullptr;
+  for (const auto& m : out.all) {
+    if (m.confidence < options.min_confidence) continue;
+    if (m.lookahead_s < options.min_lookahead_s) continue;
+    if (best == nullptr || m.lookahead_s > best->lookahead_s) best = &m;
+  }
+  if (best != nullptr) out.chosen = *best;
+  return out;
+}
+
+RelaySelector::RelaySelector(std::size_t relay_count, double sample_rate,
+                             double period_s, RelaySelectorOptions options)
+    : fs_(sample_rate),
+      period_samples_(static_cast<std::size_t>(period_s * sample_rate)),
+      opts_(options), relays_(relay_count) {
+  ensure(relay_count >= 1, "need at least one relay");
+  ensure(period_samples_ >= 256, "selection period too short");
+  for (auto& r : relays_) r.reserve(period_samples_);
+  error_.reserve(period_samples_);
+}
+
+std::optional<RelaySelection> RelaySelector::push(
+    std::span<const Sample> relay_samples, Sample error_mic_sample) {
+  ensure(relay_samples.size() == relays_.size(),
+         "one sample per relay required");
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    relays_[i].push_back(relay_samples[i]);
+  }
+  error_.push_back(error_mic_sample);
+  if (error_.size() < period_samples_) return std::nullopt;
+
+  RelaySelection sel =
+      select_relay(relays_, error_, fs_, opts_);
+  latest_ = sel;
+  for (auto& r : relays_) r.clear();
+  error_.clear();
+  return sel;
+}
+
+}  // namespace mute::core

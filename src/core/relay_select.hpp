@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/gcc_phat.hpp"
+
+namespace mute::core {
+
+/// Lookahead measurement for one candidate relay.
+struct RelayMeasurement {
+  std::size_t relay_index = 0;
+  double lookahead_s = 0.0;   // positive = relay leads the ear
+  double confidence = 0.0;    // GCC-PHAT peak value
+};
+
+/// Outcome of a selection round.
+struct RelaySelection {
+  /// Chosen relay (largest positive lookahead), or nullopt when every
+  /// relay lags the ear — the paper's "no relay selected" case, where the
+  /// client must fall back to no cancellation and nudge the user.
+  std::optional<RelayMeasurement> chosen;
+  std::vector<RelayMeasurement> all;
+};
+
+/// Options for the periodic relay-selection correlation (Section 4.2).
+struct RelaySelectorOptions {
+  double max_lag_s = 0.05;          // correlation search window
+  double min_confidence = 0.05;     // reject spurious peaks
+  double min_lookahead_s = 100e-6;  // require a usefully positive lead
+};
+
+/// Decide which relay (if any) offers positive lookahead by GCC-PHAT
+/// correlating each relay's forwarded waveform against the error-mic
+/// recording of the same interval.
+RelaySelection select_relay(
+    std::span<const Signal> relay_streams,
+    std::span<const Sample> error_mic_stream, double sample_rate,
+    const RelaySelectorOptions& options = {});
+
+/// Streaming wrapper that accumulates synchronized relay/error-mic audio
+/// and re-runs selection every `period_s` (the paper correlates
+/// periodically to track moving sources).
+class RelaySelector {
+ public:
+  RelaySelector(std::size_t relay_count, double sample_rate,
+                double period_s = 0.5, RelaySelectorOptions options = {});
+
+  /// Push one synchronized sample per relay plus the error-mic sample.
+  /// Returns a fresh selection when a period completes, nullopt otherwise.
+  std::optional<RelaySelection> push(std::span<const Sample> relay_samples,
+                                     Sample error_mic_sample);
+
+  /// Most recent completed selection (empty before the first period).
+  const std::optional<RelaySelection>& current() const { return latest_; }
+
+  std::size_t relay_count() const { return relays_.size(); }
+
+ private:
+  double fs_;
+  std::size_t period_samples_;
+  RelaySelectorOptions opts_;
+  std::vector<Signal> relays_;
+  Signal error_;
+  std::optional<RelaySelection> latest_;
+};
+
+}  // namespace mute::core

@@ -1,0 +1,86 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::dsp {
+
+namespace {
+
+void bit_reverse_permute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void fft_core(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  ensure(is_pow2(n), "FFT length must be a power of two");
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> data) { fft_core(data, /*inverse=*/false); }
+
+void ifft_inplace(std::span<Complex> data) {
+  fft_core(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& c : data) c *= inv_n;
+}
+
+ComplexSignal fft(std::span<const Complex> input, std::size_t n) {
+  const std::size_t want = std::max(n, input.size());
+  ComplexSignal buf(next_pow2(std::max<std::size_t>(want, 1)));
+  std::copy(input.begin(), input.end(), buf.begin());
+  fft_inplace(buf);
+  return buf;
+}
+
+ComplexSignal fft_real(std::span<const Sample> input, std::size_t n) {
+  const std::size_t want = std::max(n, input.size());
+  ComplexSignal buf(next_pow2(std::max<std::size_t>(want, 1)));
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    buf[i] = Complex(static_cast<double>(input[i]), 0.0);
+  }
+  fft_inplace(buf);
+  return buf;
+}
+
+Signal ifft_real(std::span<const Complex> spectrum) {
+  ComplexSignal buf(spectrum.begin(), spectrum.end());
+  ifft_inplace(buf);
+  Signal out(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    out[i] = static_cast<Sample>(buf[i].real());
+  }
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {
+  ensure(n > 0, "transform length must be positive");
+  return static_cast<double>(k) * sample_rate / static_cast<double>(n);
+}
+
+}  // namespace mute::dsp

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::dsp {
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `data.size()` must be a power of two.
+void fft_inplace(std::span<Complex> data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(std::span<Complex> data);
+
+/// Out-of-place forward FFT; input is zero-padded to the next power of two
+/// if `n` is larger than `input.size()`. `n == 0` means next_pow2(size).
+ComplexSignal fft(std::span<const Complex> input, std::size_t n = 0);
+
+/// Forward FFT of a real signal; returns the full complex spectrum of
+/// length next_pow2(max(n, input.size())).
+ComplexSignal fft_real(std::span<const Sample> input, std::size_t n = 0);
+
+/// Inverse FFT returning only the real parts (caller asserts the spectrum
+/// is conjugate-symmetric, e.g. came from fft_real-processed data).
+Signal ifft_real(std::span<const Complex> spectrum);
+
+/// Frequency in Hz of FFT bin `k` for a transform of length `n`.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate);
+
+}  // namespace mute::dsp

@@ -1,0 +1,42 @@
+#include "dsp/fir_filter.hpp"
+
+#include "common/error.hpp"
+
+namespace mute::dsp {
+
+FirFilter::FirFilter(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients)), history_(coeffs_.size(), 0.0) {
+  ensure(!coeffs_.empty(), "FIR filter needs at least one coefficient");
+}
+
+Sample FirFilter::process(Sample x) {
+  const std::size_t n = coeffs_.size();
+  history_[pos_] = static_cast<double>(x);
+  double acc = 0.0;
+  // h[0] multiplies the newest sample, h[n-1] the oldest.
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += coeffs_[k] * history_[idx];
+    idx = (idx == 0) ? n - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1 == n) ? 0 : pos_ + 1;
+  return static_cast<Sample>(acc);
+}
+
+void FirFilter::process(std::span<const Sample> in, std::span<Sample> out) {
+  ensure(in.size() == out.size(), "in/out block sizes must match");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+}
+
+Signal FirFilter::filter(std::span<const Sample> in) {
+  Signal out(in.size());
+  process(in, out);
+  return out;
+}
+
+void FirFilter::reset() {
+  std::fill(history_.begin(), history_.end(), 0.0);
+  pos_ = 0;
+}
+
+}  // namespace mute::dsp

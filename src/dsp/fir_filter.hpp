@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::dsp {
+
+/// Streaming direct-form FIR filter with a circular history buffer.
+/// Coefficients are double precision; samples are Sample (float) with a
+/// double accumulator, per the library convention.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<double> coefficients);
+
+  /// Process one sample.
+  Sample process(Sample x);
+
+  /// Process a block (in == out sizes).
+  void process(std::span<const Sample> in, std::span<Sample> out);
+
+  /// Convenience: filter a whole signal, same length as input.
+  Signal filter(std::span<const Sample> in);
+
+  /// Clear internal history (coefficients retained).
+  void reset();
+
+  std::size_t tap_count() const { return coeffs_.size(); }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<double> history_;  // circular
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mute::dsp

@@ -1,0 +1,86 @@
+#include "dsp/resampler.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fir_design.hpp"
+
+namespace mute::dsp {
+
+Resampler::Resampler(std::size_t interpolation, std::size_t decimation,
+                     std::size_t taps_per_phase)
+    : l_(interpolation), m_(decimation) {
+  ensure(l_ >= 1 && m_ >= 1, "rates must be >= 1");
+  ensure(taps_per_phase >= 4, "need >= 4 taps per phase");
+  const std::size_t g = std::gcd(l_, m_);
+  l_ /= g;
+  m_ /= g;
+  if (l_ == 1 && m_ == 1) return;  // identity; no filter needed
+  // Prototype lowpass at the upsampled rate fs*L, cutoff at
+  // min(fs/2, fs*L/(2M)) scaled into the upsampled domain.
+  std::size_t taps = taps_per_phase * l_;
+  if (taps % 2 == 0) ++taps;
+  const double up_rate = static_cast<double>(l_);        // normalized fs = 1
+  const double cutoff = 0.5 / static_cast<double>(std::max(l_, m_));
+  prototype_ = design_lowpass(cutoff * up_rate, up_rate,
+                              taps, WindowType::kKaiser);
+  // Upsampling inserts zeros; compensate the L-fold amplitude loss.
+  for (double& c : prototype_) c *= static_cast<double>(l_);
+}
+
+Signal Resampler::process(std::span<const Sample> in) {
+  if (l_ == 1 && m_ == 1) return Signal(in.begin(), in.end());
+  // Conceptual pipeline: zero-stuff by L, FIR, take every M-th sample.
+  // Implemented polyphase: output j draws from input with phase
+  // (j*M) mod L using prototype coefficients of that phase only.
+  const std::size_t out_len = (in.size() * l_) / m_;
+  Signal out(out_len, 0.0f);
+  for (std::size_t j = 0; j < out_len; ++j) {
+    const std::size_t up_index = j * m_;          // index in upsampled stream
+    const std::size_t phase = up_index % l_;
+    const std::size_t base = up_index / l_;       // newest input sample index
+    double acc = 0.0;
+    // Coefficient k of this phase multiplies input sample (base - k).
+    for (std::size_t k = 0;; ++k) {
+      const std::size_t coeff_index = phase + k * l_;
+      if (coeff_index >= prototype_.size()) break;
+      if (k > base) break;
+      acc += prototype_[coeff_index] * static_cast<double>(in[base - k]);
+    }
+    out[j] = static_cast<Sample>(acc);
+  }
+  return out;
+}
+
+double Resampler::latency_input_samples() const {
+  if (prototype_.empty()) return 0.0;
+  return static_cast<double>(prototype_.size() - 1) / 2.0 /
+         static_cast<double>(l_);
+}
+
+Signal resample(std::span<const Sample> in, double from_rate, double to_rate) {
+  ensure(from_rate > 0 && to_rate > 0, "rates must be positive");
+  // Find a small rational approximation of to/from.
+  const double ratio = to_rate / from_rate;
+  std::size_t best_l = 1, best_m = 1;
+  double best_err = std::abs(ratio - 1.0);
+  for (std::size_t m = 1; m <= 512; ++m) {
+    const double l_real = ratio * static_cast<double>(m);
+    const auto l = static_cast<std::size_t>(std::lround(l_real));
+    if (l == 0) continue;
+    const double err =
+        std::abs(ratio - static_cast<double>(l) / static_cast<double>(m));
+    if (err < best_err - 1e-15) {
+      best_err = err;
+      best_l = l;
+      best_m = m;
+      if (err < 1e-12) break;
+    }
+  }
+  Resampler rs(best_l, best_m);
+  return rs.process(in);
+}
+
+}  // namespace mute::dsp

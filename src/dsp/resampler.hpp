@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::dsp {
+
+/// Rational-ratio polyphase resampler (upsample by L, anti-alias filter,
+/// downsample by M). Used to move audio between the 16 kHz acoustic domain
+/// and the 256 kHz RF baseband domain of the relay simulation.
+class Resampler {
+ public:
+  /// `taps_per_phase` controls the prototype lowpass quality.
+  Resampler(std::size_t interpolation, std::size_t decimation,
+            std::size_t taps_per_phase = 24);
+
+  /// Resample a whole signal. Output length ~= in.size() * L / M.
+  Signal process(std::span<const Sample> in);
+
+  std::size_t interpolation() const { return l_; }
+  std::size_t decimation() const { return m_; }
+
+  /// Group delay of the anti-alias prototype, in *input* samples.
+  double latency_input_samples() const;
+
+ private:
+  std::size_t l_, m_;
+  std::vector<double> prototype_;  // lowpass at rate fs*L
+};
+
+/// Convenience: resample `in` from `from_rate` to `to_rate` using the
+/// smallest rational approximation of the ratio.
+Signal resample(std::span<const Sample> in, double from_rate, double to_rate);
+
+}  // namespace mute::dsp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mute::dsp {
+
+/// Fixed-capacity single-threaded FIFO ring buffer.
+/// Used for streaming sample transport between pipeline stages (e.g. the
+/// lookahead buffer between the RF receiver and the LANC engine).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity + 1) {
+    ensure(capacity >= 1, "ring buffer capacity must be >= 1");
+  }
+
+  std::size_t capacity() const { return storage_.size() - 1; }
+
+  std::size_t size() const {
+    return (write_ + storage_.size() - read_) % storage_.size();
+  }
+
+  bool empty() const { return read_ == write_; }
+  bool full() const { return size() == capacity(); }
+
+  /// Push one element; returns false (drops) when full.
+  bool push(const T& value) {
+    if (full()) return false;
+    storage_[write_] = value;
+    write_ = (write_ + 1) % storage_.size();
+    return true;
+  }
+
+  /// Push a block; returns the number actually pushed.
+  std::size_t push(std::span<const T> values) {
+    std::size_t n = 0;
+    for (const T& v : values) {
+      if (!push(v)) break;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Pop one element; precondition: !empty().
+  T pop() {
+    ensure(!empty(), "pop from empty ring buffer");
+    T v = storage_[read_];
+    read_ = (read_ + 1) % storage_.size();
+    return v;
+  }
+
+  /// Peek at the element `offset` positions from the read head
+  /// (0 == oldest). Precondition: offset < size().
+  const T& peek(std::size_t offset = 0) const {
+    ensure(offset < size(), "peek beyond buffered data");
+    return storage_[(read_ + offset) % storage_.size()];
+  }
+
+  void clear() { read_ = write_ = 0; }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t read_ = 0;
+  std::size_t write_ = 0;
+};
+
+}  // namespace mute::dsp

@@ -1,0 +1,184 @@
+#include "dsp/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+
+namespace mute::dsp {
+
+namespace {
+
+struct Segmenter {
+  std::size_t segment;
+  std::size_t hop;
+  std::size_t count;  // number of segments
+};
+
+Segmenter make_segmenter(std::size_t n, std::size_t segment) {
+  ensure(is_pow2(segment), "segment must be a power of two");
+  ensure(n >= segment, "signal shorter than one segment");
+  const std::size_t hop = segment / 2;
+  return {segment, hop, (n - segment) / hop + 1};
+}
+
+}  // namespace
+
+double Psd::band_power(double low_hz, double high_hz) const {
+  ensure(low_hz <= high_hz, "band must satisfy low <= high");
+  double total = 0.0;
+  for (std::size_t i = 0; i < freq_hz.size(); ++i) {
+    if (freq_hz[i] >= low_hz && freq_hz[i] < high_hz) total += power[i];
+  }
+  return total;
+}
+
+double Psd::power_at(double freq) const {
+  ensure(!freq_hz.empty(), "empty PSD");
+  std::size_t best = 0;
+  double best_d = std::abs(freq_hz[0] - freq);
+  for (std::size_t i = 1; i < freq_hz.size(); ++i) {
+    const double d = std::abs(freq_hz[i] - freq);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return power[best];
+}
+
+Psd welch_psd(std::span<const Sample> x, double sample_rate,
+              std::size_t segment, WindowType window) {
+  const auto seg = make_segmenter(x.size(), segment);
+  const auto w = make_window(window, segment);
+  const double wpow = window_power(w);
+  const std::size_t half = segment / 2;
+
+  Psd out;
+  out.sample_rate = sample_rate;
+  out.freq_hz.resize(half + 1);
+  out.power.assign(half + 1, 0.0);
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.freq_hz[k] = bin_frequency(k, segment, sample_rate);
+  }
+
+  ComplexSignal buf(segment);
+  for (std::size_t s = 0; s < seg.count; ++s) {
+    const std::size_t off = s * seg.hop;
+    for (std::size_t i = 0; i < segment; ++i) {
+      buf[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
+    }
+    fft_inplace(buf);
+    for (std::size_t k = 0; k <= half; ++k) {
+      const double mag2 = std::norm(buf[k]);
+      // One-sided: double interior bins.
+      const double scale = (k == 0 || k == half) ? 1.0 : 2.0;
+      out.power[k] += scale * mag2;
+    }
+  }
+  const double norm =
+      1.0 / (static_cast<double>(seg.count) * wpow * sample_rate);
+  for (double& p : out.power) p *= norm;
+  return out;
+}
+
+CrossSpectrum cross_spectrum(std::span<const Sample> x,
+                             std::span<const Sample> y, double sample_rate,
+                             std::size_t segment, WindowType window) {
+  ensure(x.size() == y.size(), "signals must have equal length");
+  const auto seg = make_segmenter(x.size(), segment);
+  const auto w = make_window(window, segment);
+  const std::size_t half = segment / 2;
+
+  CrossSpectrum out;
+  out.sample_rate = sample_rate;
+  out.freq_hz.resize(half + 1);
+  out.cross.assign(half + 1, Complex(0.0, 0.0));
+  out.sxx.assign(half + 1, 0.0);
+  out.syy.assign(half + 1, 0.0);
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.freq_hz[k] = bin_frequency(k, segment, sample_rate);
+  }
+
+  ComplexSignal bx(segment), by(segment);
+  for (std::size_t s = 0; s < seg.count; ++s) {
+    const std::size_t off = s * seg.hop;
+    for (std::size_t i = 0; i < segment; ++i) {
+      bx[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
+      by[i] = Complex(w[i] * static_cast<double>(y[off + i]), 0.0);
+    }
+    fft_inplace(bx);
+    fft_inplace(by);
+    for (std::size_t k = 0; k <= half; ++k) {
+      out.cross[k] += std::conj(bx[k]) * by[k];
+      out.sxx[k] += std::norm(bx[k]);
+      out.syy[k] += std::norm(by[k]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(seg.count);
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.cross[k] *= inv;
+    out.sxx[k] *= inv;
+    out.syy[k] *= inv;
+  }
+  return out;
+}
+
+ComplexSignal transfer_estimate(const CrossSpectrum& cs) {
+  ComplexSignal h(cs.cross.size());
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    h[k] = cs.cross[k] / std::max(cs.sxx[k], 1e-20);
+  }
+  return h;
+}
+
+std::vector<double> coherence(const CrossSpectrum& cs) {
+  std::vector<double> c(cs.cross.size());
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    const double denom = std::max(cs.sxx[k] * cs.syy[k], 1e-30);
+    c[k] = std::clamp(std::norm(cs.cross[k]) / denom, 0.0, 1.0);
+  }
+  return c;
+}
+
+std::vector<std::vector<double>> stft_magnitude(std::span<const Sample> x,
+                                                std::size_t frame,
+                                                std::size_t hop,
+                                                WindowType window) {
+  ensure(is_pow2(frame), "frame must be a power of two");
+  ensure(hop >= 1, "hop must be >= 1");
+  std::vector<std::vector<double>> frames;
+  if (x.size() < frame) return frames;
+  const auto w = make_window(window, frame);
+  const std::size_t half = frame / 2;
+  ComplexSignal buf(frame);
+  for (std::size_t off = 0; off + frame <= x.size(); off += hop) {
+    for (std::size_t i = 0; i < frame; ++i) {
+      buf[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
+    }
+    fft_inplace(buf);
+    std::vector<double> mag(half + 1);
+    for (std::size_t k = 0; k <= half; ++k) mag[k] = std::abs(buf[k]);
+    frames.push_back(std::move(mag));
+  }
+  return frames;
+}
+
+std::vector<double> band_energies(
+    std::span<const double> magnitude_frame, double sample_rate,
+    std::size_t fft_size, std::span<const std::pair<double, double>> bands) {
+  std::vector<double> out(bands.size(), 0.0);
+  for (std::size_t k = 0; k < magnitude_frame.size(); ++k) {
+    const double f = bin_frequency(k, fft_size, sample_rate);
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      if (f >= bands[b].first && f < bands[b].second) {
+        out[b] += magnitude_frame[k] * magnitude_frame[k];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mute::dsp

@@ -1,0 +1,74 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace mute::dsp {
+
+double bessel_i0(double x) {
+  // Power-series evaluation; converges quickly for the arguments used in
+  // Kaiser windows (|x| < ~30).
+  double sum = 1.0;
+  double term = 1.0;
+  const double half_x = x / 2.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half_x / k) * (half_x / k);
+    sum += term;
+    if (term < 1e-16 * sum) break;
+  }
+  return sum;
+}
+
+std::vector<double> make_window(WindowType type, std::size_t n,
+                                double kaiser_beta) {
+  ensure(n >= 1, "window length must be >= 1");
+  std::vector<double> w(n, 1.0);
+  if (n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (type) {
+    case WindowType::kRectangular:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = kTwoPi * static_cast<double>(i) / denom;
+        w[i] = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+      }
+      break;
+    case WindowType::kKaiser: {
+      const double i0_beta = bessel_i0(kaiser_beta);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = 2.0 * static_cast<double>(i) / denom - 1.0;
+        w[i] = bessel_i0(kaiser_beta * std::sqrt(std::max(0.0, 1.0 - r * r))) /
+               i0_beta;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+double window_sum(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double v : w) s += v;
+  return s;
+}
+
+double window_power(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double v : w) s += v * v;
+  return s;
+}
+
+}  // namespace mute::dsp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::dsp {
+
+enum class WindowType { kRectangular, kHann, kHamming, kBlackman, kKaiser };
+
+/// Generate an N-point window. `kaiser_beta` applies to Kaiser only.
+std::vector<double> make_window(WindowType type, std::size_t n,
+                                double kaiser_beta = 8.6);
+
+/// Zeroth-order modified Bessel function of the first kind (for Kaiser).
+double bessel_i0(double x);
+
+/// Sum of window coefficients (for amplitude correction).
+double window_sum(const std::vector<double>& w);
+
+/// Sum of squared coefficients (for PSD normalization).
+double window_power(const std::vector<double>& w);
+
+}  // namespace mute::dsp

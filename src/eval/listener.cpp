@@ -1,0 +1,73 @@
+#include "eval/listener.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/fir_design.hpp"
+#include "dsp/fir_filter.hpp"
+#include "dsp/signal_ops.hpp"
+
+namespace mute::eval {
+
+ListenerPanel::ListenerPanel(std::size_t count, double sample_rate,
+                             std::uint64_t seed)
+    : fs_(sample_rate) {
+  ensure(count >= 1, "need at least one listener");
+  Rng rng(seed);
+  biases_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    biases_.push_back({rng.gaussian(1.5), rng.gaussian(0.25)});
+  }
+}
+
+double ListenerPanel::a_weighted_level_db(std::span<const Sample> x) const {
+  // IEC 61672 A-weighting realized as a linear-phase FIR fitted to the
+  // standard table (the filter's group delay is irrelevant for a level
+  // measurement). A biquad approximation is tempting but over-discounts
+  // the 250-800 Hz region where ANC earns most of its keep.
+  static const std::vector<double> kFreq = {31.5, 63.0,  125.0,  250.0,
+                                            500.0, 1000.0, 2000.0, 4000.0,
+                                            7500.0};
+  static const std::vector<double> kGainDb = {-39.4, -26.2, -16.1, -8.6,
+                                              -3.2,  0.0,   1.2,   1.0,
+                                              -1.1};
+  std::vector<double> mag(kGainDb.size());
+  for (std::size_t i = 0; i < mag.size(); ++i) {
+    mag[i] = db_to_amplitude(kGainDb[i]);
+  }
+  mute::dsp::FirFilter weighting(
+      mute::dsp::design_from_magnitude(kFreq, mag, fs_, 255));
+  double acc = 0.0;
+  for (Sample v : x) {
+    const Sample w = weighting.process(v);
+    acc += static_cast<double>(w) * static_cast<double>(w);
+  }
+  const double rms = std::sqrt(acc / std::max<std::size_t>(x.size(), 1));
+  return amplitude_to_db(rms);
+}
+
+std::vector<ListenerRating> ListenerPanel::rate(
+    std::span<const Sample> disturbance,
+    std::span<const Sample> residual) const {
+  ensure(!disturbance.empty() && !residual.empty(), "empty records");
+  const double anchor_db = a_weighted_level_db(disturbance);
+  const double level_db = a_weighted_level_db(residual);
+
+  std::vector<ListenerRating> out;
+  out.reserve(biases_.size());
+  for (std::size_t i = 0; i < biases_.size(); ++i) {
+    // Perceived improvement relative to the raw disturbance.
+    const double relief_db =
+        anchor_db - (level_db + biases_[i].sensitivity_db);
+    // 0 dB relief -> 1 star; >= 24 dB relief -> 5 stars, linear between.
+    const double raw = 1.0 + 4.0 * relief_db / 24.0 + biases_[i].offset_stars;
+    out.push_back({static_cast<int>(i + 1), std::clamp(raw, 1.0, 5.0)});
+  }
+  return out;
+}
+
+}  // namespace mute::eval

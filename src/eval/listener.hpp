@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mute::eval {
+
+/// Computational stand-in for the paper's 5-volunteer study (Figure 15).
+///
+/// The paper could bring humans into the room; we cannot, so each
+/// "listener" is a perceptual rating model: the residual noise is
+/// A-weighted (human loudness sensitivity), its level is mapped through a
+/// monotonic loudness-to-opinion curve onto the 1..5 star scale, and each
+/// simulated volunteer carries a small random sensitivity offset and
+/// rating bias, seeded per listener. The model preserves exactly what the
+/// figure demonstrates: orderings (quieter residual -> higher stars) with
+/// believable inter-subject spread.
+struct ListenerRating {
+  int listener_id = 0;
+  double score = 0.0;  // 1..5 stars
+};
+
+class ListenerPanel {
+ public:
+  /// `count` listeners with deterministic per-listener biases.
+  ListenerPanel(std::size_t count, double sample_rate, std::uint64_t seed);
+
+  /// Rate the experience of hearing `residual` where `reference_level`
+  /// sets the "unbearable" anchor (the un-canceled disturbance).
+  std::vector<ListenerRating> rate(std::span<const Sample> disturbance,
+                                   std::span<const Sample> residual) const;
+
+  /// A-weighted RMS level in dB of a record (the model's loudness core).
+  double a_weighted_level_db(std::span<const Sample> x) const;
+
+  std::size_t size() const { return biases_.size(); }
+
+ private:
+  double fs_;
+  struct Bias {
+    double sensitivity_db;  // shifts perceived loudness
+    double offset_stars;    // fixed rating bias
+  };
+  std::vector<Bias> biases_;
+};
+
+}  // namespace mute::eval

@@ -1,0 +1,166 @@
+#include "rf/relay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/generators.hpp"
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/resampler.hpp"
+#include "dsp/signal_ops.hpp"
+#include "dsp/spectral.hpp"
+
+namespace mute::rf {
+
+RelayTransmitter::RelayTransmitter(const RelayConfig& config,
+                                   std::uint64_t /*seed*/)
+    : cfg_(config),
+      front_end_(config.audio_cutoff_hz, config.audio_gain, config.clip_level,
+                 config.audio_rate),
+      modulator_(config.fm_deviation_hz, config.rf_rate),
+      pa_(config.pa_backoff_db) {
+  ensure(config.rf_rate > 2 * config.fm_deviation_hz,
+         "rf_rate must exceed twice the FM deviation");
+  ensure(config.rf_rate >= config.audio_rate, "rf_rate >= audio_rate");
+}
+
+ComplexSignal RelayTransmitter::transmit(std::span<const Sample> audio) {
+  Signal conditioned = front_end_.process(audio);
+  if (cfg_.scramble) {
+    // Spectral inversion: f -> fs/2 - f at the audio rate.
+    for (std::size_t i = 0; i < conditioned.size(); ++i) {
+      if (i & 1) conditioned[i] = -conditioned[i];
+    }
+  }
+  // Analog interpolation to the RF processing rate.
+  Signal upsampled =
+      mute::dsp::resample(conditioned, cfg_.audio_rate, cfg_.rf_rate);
+  ComplexSignal modulated = modulator_.modulate(upsampled);
+  return pa_.process(modulated);
+}
+
+void RelayTransmitter::reset() {
+  front_end_.reset();
+  modulator_.reset();
+}
+
+EarReceiver::EarReceiver(const RelayConfig& config, std::uint64_t /*seed*/)
+    : cfg_(config),
+      select_(config.rx_bandwidth_hz, config.rf_rate),
+      demodulator_(config.fm_deviation_hz, config.rf_rate) {}
+
+Signal EarReceiver::receive(std::span<const Complex> rf) {
+  ComplexSignal selected = select_.process(rf);
+  Signal demodulated = demodulator_.demodulate(selected);
+  Signal audio = mute::dsp::resample(demodulated, cfg_.rf_rate,
+                                     cfg_.audio_rate);
+  if (cfg_.scramble) {
+    // Undo the spectral inversion (self-inverse up to a harmless global
+    // sign that depends on the link delay parity). Parity continuity is
+    // kept across blocks via descramble_phase_.
+    for (auto& v : audio) {
+      if (descramble_phase_) v = -v;
+      descramble_phase_ = !descramble_phase_;
+    }
+  }
+  return audio;
+}
+
+void EarReceiver::reset() {
+  select_.reset();
+  demodulator_.reset();
+  descramble_phase_ = false;
+}
+
+RelayLink::RelayLink(const RelayConfig& config, std::uint64_t seed)
+    : cfg_(config), seed_(seed), tx_(config, seed),
+      channel_(config.channel, config.rf_rate, seed + 1),
+      rx_(config, seed + 2) {}
+
+Signal RelayLink::process(std::span<const Sample> audio) {
+  ComplexSignal rf = tx_.transmit(audio);
+  ComplexSignal faded = channel_.process(rf);
+  Signal out = rx_.receive(faded);
+  out.resize(audio.size(), 0.0f);  // rational-resampling rounding guard
+  return out;
+}
+
+double RelayLink::measure_latency_samples() {
+  if (cached_latency_ >= 0.0) return cached_latency_;
+  // Probe with band-limited white noise and find the cross-correlation
+  // peak between input and output.
+  const auto n = static_cast<std::size_t>(cfg_.audio_rate / 2);  // 0.5 s
+  mute::audio::WhiteNoiseSource probe(0.2, seed_ + 77);
+  RelayLink fresh(cfg_, seed_);  // do not disturb streaming state
+  Signal in = probe.generate(n);
+  Signal out = fresh.process(in);
+
+  const std::size_t nfft = mute::next_pow2(2 * n);
+  ComplexSignal fa(nfft), fb(nfft);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = static_cast<double>(in[i]);
+    fb[i] = static_cast<double>(out[i]);
+  }
+  mute::dsp::fft_inplace(fa);
+  mute::dsp::fft_inplace(fb);
+  for (std::size_t i = 0; i < nfft; ++i) fa[i] = fb[i] * std::conj(fa[i]);
+  mute::dsp::ifft_inplace(fa);
+  // Only non-negative lags are physical here.
+  std::size_t best = 0;
+  double best_v = -1.0;
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    const double v = std::abs(fa[lag]);
+    if (v > best_v) {
+      best_v = v;
+      best = lag;
+    }
+  }
+  cached_latency_ = static_cast<double>(best);
+  return cached_latency_;
+}
+
+double RelayLink::measure_sndr_db(double tone_hz, double amplitude) {
+  ensure(tone_hz > 0 && tone_hz < cfg_.audio_rate / 2, "tone inside band");
+  const auto n = static_cast<std::size_t>(cfg_.audio_rate * 2);
+  mute::audio::ToneSource probe(tone_hz, amplitude, cfg_.audio_rate);
+  RelayLink fresh(cfg_, seed_);
+  Signal in = probe.generate(n);
+  Signal out = fresh.process(in);
+  // Discard the settling head.
+  const std::size_t skip = n / 4;
+  const std::span<const Sample> tail(out.data() + skip, n - skip);
+  auto psd = mute::dsp::welch_psd(tail, cfg_.audio_rate, 2048);
+  // Signal power: +-2 bins around the tone; the rest (above DC block) is
+  // noise + distortion.
+  const double bin_width = psd.freq_hz[1] - psd.freq_hz[0];
+  const double sig = psd.band_power(tone_hz - 2 * bin_width,
+                                    tone_hz + 2 * bin_width);
+  const double total = psd.band_power(30.0, cfg_.audio_rate / 2);
+  const double nd = std::max(total - sig, 1e-20);
+  return power_to_db(sig / nd);
+}
+
+Signal RelayLink::eavesdrop(std::span<const Sample> audio) {
+  // A fresh pipeline whose receiver does NOT know about scrambling.
+  RelayConfig eaves_cfg = cfg_;
+  RelayConfig tx_cfg = cfg_;
+  eaves_cfg.scramble = false;
+  RelayTransmitter tx(tx_cfg, seed_);
+  RfChannel channel(cfg_.channel, cfg_.rf_rate, seed_ + 1);
+  EarReceiver rx(eaves_cfg, seed_ + 2);
+  ComplexSignal rf = tx.transmit(audio);
+  ComplexSignal faded = channel.process(rf);
+  Signal out = rx.receive(faded);
+  out.resize(audio.size(), 0.0f);
+  return out;
+}
+
+void RelayLink::reset() {
+  tx_.reset();
+  channel_.reset();
+  rx_.reset();
+  cached_latency_ = -1.0;
+}
+
+}  // namespace mute::rf

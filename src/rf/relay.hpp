@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "rf/fm.hpp"
+#include "rf/frontend.hpp"
+#include "rf/oscillator.hpp"
+#include "rf/rf_channel.hpp"
+
+namespace mute::rf {
+
+/// Configuration of the end-to-end relay link.
+struct RelayConfig {
+  double audio_rate = kDefaultSampleRate;
+  double rf_rate = kDefaultRfSampleRate;
+  double audio_cutoff_hz = 7'000.0;   // relay LPF
+  double audio_gain = 1.0;
+  double clip_level = 4.0;
+  double fm_deviation_hz = 60'000.0;  // wideband-FM-style deviation
+  double pa_backoff_db = 3.0;
+  double rx_bandwidth_hz = 180'000.0; // channel-select bandwidth (Carson)
+  // Privacy (Section 4.4 "sound scrambling"): spectrally invert the audio
+  // before modulation (multiply by (-1)^n, mapping f -> fs/2 - f). The
+  // legitimate ear device inverts it back; an eavesdropper who demodulates
+  // the FM signal without the descrambler hears an unintelligible
+  // frequency-flipped version.
+  bool scramble = false;
+  RfChannelParams channel{};
+};
+
+/// The all-analog IoT relay transmitter (paper Figure 9): microphone audio
+/// -> LPF -> amplifier -> VCO/FM -> (PLL up-conversion, modeled as the
+/// baseband phasor) -> PA. Audio enters at `audio_rate`; the emitted
+/// complex baseband stream is at `rf_rate`. No sample is ever stored.
+class RelayTransmitter {
+ public:
+  RelayTransmitter(const RelayConfig& config, std::uint64_t seed);
+
+  /// Transmit a block of audio; returns the complex baseband RF signal
+  /// (length = audio length * rf_rate / audio_rate).
+  ComplexSignal transmit(std::span<const Sample> audio);
+
+  void reset();
+
+ private:
+  RelayConfig cfg_;
+  AudioFrontEnd front_end_;
+  FmModulator modulator_;
+  PowerAmplifier pa_;
+};
+
+/// The ear-device receiver: channel-select filter -> FM discriminator ->
+/// DC block (CFO removal) -> decimation back to the audio rate.
+class EarReceiver {
+ public:
+  EarReceiver(const RelayConfig& config, std::uint64_t seed);
+
+  /// Receive a complex baseband block; returns audio at `audio_rate`.
+  Signal receive(std::span<const Complex> rf);
+
+  void reset();
+
+ private:
+  RelayConfig cfg_;
+  ChannelSelectFilter select_;
+  FmDemodulator demodulator_;
+  bool descramble_phase_ = false;
+};
+
+/// Offline convenience: the full relay -> channel -> receiver pipeline.
+/// Use `measure_latency_samples()` once to learn the link's group delay in
+/// audio samples; the ANC timing budget must subtract it from the acoustic
+/// lookahead (Equation 3).
+class RelayLink {
+ public:
+  RelayLink(const RelayConfig& config, std::uint64_t seed);
+
+  /// Push audio through TX -> channel -> RX. Output length == input length
+  /// (the link's filters introduce group delay *within* the stream, which
+  /// is the realistic behaviour the ANC must budget for).
+  Signal process(std::span<const Sample> audio);
+
+  /// Estimate the link group delay by cross-correlating a white probe with
+  /// its received copy. Deterministic per seed; cached after first call.
+  double measure_latency_samples();
+
+  /// Audio-band SNDR of the link for a sine probe at `tone_hz`, in dB.
+  double measure_sndr_db(double tone_hz, double amplitude = 0.5);
+
+  /// What an eavesdropper (standard FM receiver WITHOUT the descrambler)
+  /// hears: correlation with the transmitted audio collapses when
+  /// scrambling is on. Returns the received audio record.
+  Signal eavesdrop(std::span<const Sample> audio);
+
+  const RelayConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  RelayConfig cfg_;
+  std::uint64_t seed_;
+  RelayTransmitter tx_;
+  RfChannel channel_;
+  EarReceiver rx_;
+  double cached_latency_ = -1.0;
+};
+
+}  // namespace mute::rf

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mute::rf {
+
+/// Spectrum planning for co-existing relays (paper Section 6, "RF
+/// interference and channel contention"): each relay streams continuously,
+/// so coexistence is frequency-division — assign every relay its own FM
+/// channel inside the 26 MHz 900 MHz ISM band and count how many fit.
+
+/// Carson's-rule occupied bandwidth of an FM signal: 2 * (deviation + fm).
+inline double carson_bandwidth_hz(double deviation_hz, double audio_bw_hz) {
+  ensure(deviation_hz > 0 && audio_bw_hz > 0, "positive parameters required");
+  return 2.0 * (deviation_hz + audio_bw_hz);
+}
+
+/// How many relays fit in `band_hz` with `guard_hz` between channels.
+inline std::size_t relay_capacity(double band_hz, double channel_bw_hz,
+                                  double guard_hz = 0.0) {
+  ensure(band_hz > 0 && channel_bw_hz > 0, "positive parameters required");
+  ensure(guard_hz >= 0, "guard must be non-negative");
+  return static_cast<std::size_t>(band_hz / (channel_bw_hz + guard_hz));
+}
+
+/// Center frequencies (offsets from the band's lower edge) for `count`
+/// relays. Throws when the band cannot hold them.
+inline std::vector<double> assign_channels(std::size_t count, double band_hz,
+                                           double channel_bw_hz,
+                                           double guard_hz = 0.0) {
+  ensure(count >= 1, "need at least one relay");
+  ensure(relay_capacity(band_hz, channel_bw_hz, guard_hz) >= count,
+         "band cannot hold this many relays");
+  std::vector<double> centers;
+  centers.reserve(count);
+  const double pitch = channel_bw_hz + guard_hz;
+  for (std::size_t i = 0; i < count; ++i) {
+    centers.push_back(channel_bw_hz / 2.0 + static_cast<double>(i) * pitch);
+  }
+  return centers;
+}
+
+/// The 900 MHz ISM band the paper's relay uses (paper: 26 MHz wide).
+inline constexpr double kIsmBandHz = 26e6;
+
+}  // namespace mute::rf

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "audio/source.hpp"
+#include "sim/system.hpp"
+
+namespace mute::sim {
+
+/// The four comparison schemes of the paper's evaluation (Section 5.1).
+enum class Scheme {
+  kMuteHollow,    // open-ear MUTE: wireless reference, no passive shell
+  kBoseActive,    // headphone ANC alone: on-ear ref mic, no shell
+  kBoseOverall,   // headphone ANC + passive shell
+  kMutePassive,   // MUTE's LANC + the passive shell (MUTE+Passive)
+};
+
+const char* scheme_name(Scheme scheme);
+
+/// Build the SystemConfig for a scheme in a given scene. The Bose variants
+/// move the reference microphone onto the headphone (1.5 cm outward from
+/// the error mic toward the noise), use premium transducers, a headphone
+/// latency budget, and no wireless link.
+SystemConfig make_scheme_config(Scheme scheme,
+                                const acoustics::Scene& scene,
+                                std::uint64_t seed);
+
+/// The noise workloads of Figures 12/14/15.
+enum class NoiseKind {
+  kWhite,          // wide-band white noise (Fig. 12)
+  kMaleVoice,      // Fig. 14
+  kFemaleVoice,    // Fig. 14
+  kConstruction,   // Fig. 14
+  kMusic,          // Fig. 14 / 15
+  kMachineHum,     // the "persistent machine noise" convergence case
+};
+
+const char* noise_name(NoiseKind kind);
+
+/// Instantiate a workload generator.
+audio::SourcePtr make_noise(NoiseKind kind, double sample_rate,
+                            std::uint64_t seed);
+
+}  // namespace mute::sim

@@ -1,0 +1,65 @@
+#include "sim/variants.hpp"
+
+#include "common/error.hpp"
+
+namespace mute::sim {
+
+SystemConfig make_tabletop_config(const acoustics::Scene& scene,
+                                  std::uint64_t seed,
+                                  double rf_round_trip_ms) {
+  ensure(rf_round_trip_ms >= 0, "round trip must be non-negative");
+  SystemConfig cfg = make_scheme_config(Scheme::kMuteHollow, scene, seed);
+  // Reference is wired into the tabletop DSP: no uplink on x.
+  cfg.use_rf_link = false;
+  // Anti-noise downlink: half the round trip lands in the playout budget.
+  cfg.latency.dsp_us += rf_round_trip_ms * 1000.0 / 2.0;
+  // Error feedback uplink: the other half delays adaptation.
+  cfg.error_feedback_delay_samples = static_cast<std::size_t>(
+      rf_round_trip_ms * 1e-3 / 2.0 * cfg.scene.sample_rate);
+  // Delayed-update stability margin: the feedback delay sits inside the
+  // calibrated plant, but it still lengthens the loop.
+  cfg.mu = 0.05;
+  return cfg;
+}
+
+SystemConfig make_smart_noise_config(const acoustics::Scene& scene,
+                                     std::uint64_t seed) {
+  SystemConfig cfg = make_scheme_config(Scheme::kMuteHollow, scene, seed);
+  // Relay mounted on the noise source itself: 10 cm from the source.
+  cfg.scene.relay_mic = cfg.scene.noise_source;
+  cfg.scene.relay_mic.x += 0.1;
+  // With the reference captured dry at the source, the controller must
+  // model the FULL noise->ear room response (not the shorter h_ne/h_nr
+  // ratio a mid-room relay needs), so it earns its maximal lookahead only
+  // with a longer filter.
+  cfg.causal_taps = 1024;
+  return cfg;
+}
+
+EdgeServiceResult run_edge_service(audio::SoundSource& noise,
+                                   const acoustics::Scene& base_scene,
+                                   const std::vector<EdgeUser>& users,
+                                   std::uint64_t seed,
+                                   double server_extra_latency_ms,
+                                   double duration_s) {
+  ensure(!users.empty(), "edge service needs at least one user");
+  EdgeServiceResult out;
+  out.per_user.reserve(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    SystemConfig cfg =
+        make_scheme_config(Scheme::kMuteHollow, base_scene, seed + 97 * u);
+    cfg.duration_s = duration_s;
+    cfg.scene.error_mic = users[u].ear;
+    cfg.scene.anti_speaker = users[u].speaker;
+    // Server-side DSP: backhaul + scheduling latency on the anti-noise
+    // path, and delayed error feedback from each user's device.
+    cfg.latency.dsp_us += server_extra_latency_ms * 1000.0;
+    cfg.error_feedback_delay_samples = static_cast<std::size_t>(
+        server_extra_latency_ms * 1e-3 * cfg.scene.sample_rate);
+    cfg.mu = 0.05;
+    out.per_user.push_back(run_anc_simulation(noise, cfg));
+  }
+  return out;
+}
+
+}  // namespace mute::sim

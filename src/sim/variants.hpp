@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scenarios.hpp"
+#include "sim/system.hpp"
+
+namespace mute::sim {
+
+/// Architectural variants of Section 4.3. Each builder derives a
+/// SystemConfig (or a set of them) from the basic MUTE deployment.
+
+/// (a) Personal tabletop: the DSP moves into the relay; the reference mic
+/// is wired to the DSP (no uplink), but the *anti-noise* travels to the
+/// ear over RF (downlink latency eats budget) and the error microphone's
+/// feedback returns over RF (delayed adaptation, mu reduced for the
+/// delayed-update stability margin).
+SystemConfig make_tabletop_config(const acoustics::Scene& scene,
+                                  std::uint64_t seed,
+                                  double rf_round_trip_ms = 2.0);
+
+/// (c) Smart noise: the relay is attached to the noise source itself,
+/// maximizing lookahead (d_r -> 0 in Equation 4).
+SystemConfig make_smart_noise_config(const acoustics::Scene& scene,
+                                     std::uint64_t seed);
+
+/// (b) Public edge service: one DSP server and IoT relays on the ceiling
+/// serve several users at once. Each user has their own ear position and
+/// error feedback path; the server computes per-user anti-noise.
+struct EdgeUser {
+  acoustics::Point ear;
+  acoustics::Point speaker;  // each user's ear-device speaker
+};
+
+struct EdgeServiceResult {
+  std::vector<SystemResult> per_user;
+};
+
+/// Run the edge service for all users against a common noise source and a
+/// single ceiling relay. `server_extra_latency_ms` models the backhaul +
+/// shared-DSP scheduling cost added to every user's budget.
+EdgeServiceResult run_edge_service(audio::SoundSource& noise,
+                                   const acoustics::Scene& base_scene,
+                                   const std::vector<EdgeUser>& users,
+                                   std::uint64_t seed,
+                                   double server_extra_latency_ms = 0.5,
+                                   double duration_s = 8.0);
+
+}  // namespace mute::sim

@@ -1,0 +1,327 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "audio/construction_synth.hpp"
+#include "audio/generators.hpp"
+#include "audio/music_synth.hpp"
+#include "audio/speech_synth.hpp"
+#include "audio/wav.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/signal_ops.hpp"
+#include "dsp/spectral.hpp"
+
+namespace mute::audio {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+TEST(WhiteNoise, HasRequestedRms) {
+  WhiteNoiseSource src(0.2, 1);
+  const auto x = src.generate(50000);
+  EXPECT_NEAR(mute::dsp::rms(x), 0.2, 0.01);
+}
+
+TEST(WhiteNoise, ResetReplaysIdentically) {
+  WhiteNoiseSource src(0.1, 5);
+  const auto a = src.generate(100);
+  src.reset();
+  const auto b = src.generate(100);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(WhiteNoise, SpectrumIsFlat) {
+  WhiteNoiseSource src(0.1, 2);
+  const auto x = src.generate(64000);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 512);
+  EXPECT_NEAR(psd.band_power(500, 1500) / psd.band_power(5000, 6000), 1.0,
+              0.15);
+}
+
+TEST(PinkNoise, LowFrequenciesDominate) {
+  PinkNoiseSource src(0.1, 3);
+  const auto x = src.generate(64000);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 1024);
+  // Pink: equal power per octave -> the 100-200 octave outweighs equal-width
+  // linear band up high.
+  EXPECT_GT(psd.band_power(100, 200), 3.0 * psd.band_power(4000, 4100) * 1.0);
+}
+
+TEST(Tone, FrequencyIsExact) {
+  ToneSource src(1000.0, 0.5, kFs);
+  const auto x = src.generate(16384);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 2048);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < psd.power.size(); ++i) {
+    if (psd.power[i] > psd.power[best]) best = i;
+  }
+  EXPECT_NEAR(psd.freq_hz[best], 1000.0, kFs / 2048.0);
+  EXPECT_NEAR(mute::dsp::peak(x), 0.5, 0.01);
+}
+
+TEST(MachineHum, HarmonicsPresent) {
+  MachineHumSource src(120.0, 0.2, kFs, 4);
+  const auto x = src.generate(64000);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 4096);
+  // Fundamental and first harmonics well above the floor.
+  const double floor_power = psd.band_power(3000, 3500) / 128.0;
+  EXPECT_GT(psd.power_at(120.0), 10.0 * floor_power);
+  EXPECT_GT(psd.power_at(240.0), 10.0 * floor_power);
+}
+
+TEST(Chirp, SweepsUpward) {
+  ChirpSource src(200.0, 4000.0, 1.0, 0.5, kFs);
+  const auto x = src.generate(16000);
+  // Early frames low frequency, late frames high.
+  auto frames = mute::dsp::stft_magnitude(x, 512, 256);
+  auto centroid = [&](const std::vector<double>& m) {
+    double num = 0, den = 0;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      num += k * m[k];
+      den += m[k];
+    }
+    return num / std::max(den, 1e-12);
+  };
+  EXPECT_LT(centroid(frames.front()), centroid(frames.back()) * 0.5);
+}
+
+TEST(Intermittent, HasSilentAndActiveSegments) {
+  auto inner = std::make_unique<WhiteNoiseSource>(0.3, 7);
+  IntermittentSource src(std::move(inner), kFs, 0.3, 0.6, 0.2, 0.5, 11);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 10));
+  const auto env = std::vector<double>();
+  // Count silent vs loud 50 ms chunks.
+  const std::size_t chunk = 800;
+  int silent = 0, loud = 0;
+  for (std::size_t off = 0; off + chunk <= x.size(); off += chunk) {
+    const double r = mute::dsp::rms(std::span<const Sample>(x.data() + off, chunk));
+    if (r < 0.01) ++silent;
+    if (r > 0.1) ++loud;
+  }
+  EXPECT_GT(silent, 10);
+  EXPECT_GT(loud, 10);
+}
+
+TEST(Intermittent, ResetReplays) {
+  auto inner = std::make_unique<WhiteNoiseSource>(0.3, 7);
+  IntermittentSource src(std::move(inner), kFs, 0.3, 0.6, 0.2, 0.5, 11);
+  const auto a = src.generate(5000);
+  src.reset();
+  const auto b = src.generate(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(BufferSource, LoopsBuffer) {
+  BufferSource src({1.0f, 2.0f, 3.0f}, "tri");
+  const auto x = src.generate(7);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+  EXPECT_FLOAT_EQ(x[3], 1.0f);
+  EXPECT_FLOAT_EQ(x[6], 1.0f);
+}
+
+TEST(MixSource, SumsParts) {
+  std::vector<SourcePtr> parts;
+  parts.push_back(std::make_unique<BufferSource>(Signal{1.0f, 1.0f}, "a"));
+  parts.push_back(std::make_unique<BufferSource>(Signal{2.0f, 2.0f}, "b"));
+  MixSource mixed(std::move(parts));
+  const auto x = mixed.generate(2);
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  EXPECT_FLOAT_EQ(x[1], 3.0f);
+}
+
+TEST(Speech, ProducesEnergyInFormantRange) {
+  SpeechSource src(SpeechParams::male(), kFs, 3);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 6));
+  EXPECT_GT(mute::dsp::rms(x), 0.005);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 1024);
+  // Speech-band energy dominates the top octave.
+  EXPECT_GT(psd.band_power(200, 3000), 5.0 * psd.band_power(5000, 7900));
+}
+
+TEST(Speech, MaleAndFemaleDiffer) {
+  SpeechSource m(SpeechParams::male(), kFs, 3);
+  SpeechSource f(SpeechParams::female(), kFs, 3);
+  EXPECT_EQ(m.name(), "male_voice");
+  EXPECT_EQ(f.name(), "female_voice");
+}
+
+TEST(Speech, ContinuousModeHasNoLongPauses) {
+  auto p = SpeechParams::male();
+  p.continuous = true;
+  SpeechSource src(p, kFs, 9);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 6));
+  // Max silent run under 0.5 s.
+  std::size_t run = 0, max_run = 0;
+  for (Sample v : x) {
+    if (std::abs(v) < 1e-4) {
+      ++run;
+      max_run = std::max(max_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_LT(max_run, static_cast<std::size_t>(kFs / 2));
+}
+
+TEST(Speech, IntermittentModeHasPauses) {
+  SpeechSource src(SpeechParams::male(), kFs, 5);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 12));
+  std::size_t run = 0, max_run = 0;
+  for (Sample v : x) {
+    if (std::abs(v) < 1e-5) {
+      ++run;
+      max_run = std::max(max_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_GT(max_run, static_cast<std::size_t>(kFs / 10));
+}
+
+TEST(Music, ProducesTonalOutput) {
+  MusicSource src(MusicParams{}, kFs, 4);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 5));
+  EXPECT_GT(mute::dsp::rms(x), 0.01);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 2048);
+  // Tonal: the strongest bin well above the median bin.
+  std::vector<double> sorted = psd.power;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted.back(), 30.0 * sorted[sorted.size() / 2]);
+}
+
+TEST(Construction, ImpulsiveWithEngineBed) {
+  ConstructionSource src(ConstructionParams{}, kFs, 6);
+  const auto x = src.generate(static_cast<std::size_t>(kFs * 8));
+  // Crest factor well above Gaussian (~3-4 sigma): impacts present.
+  EXPECT_GT(mute::dsp::peak(x) / mute::dsp::rms(x), 4.0);
+  // LF engine energy present.
+  const auto psd = mute::dsp::welch_psd(x, kFs, 1024);
+  EXPECT_GT(psd.band_power(20, 200), 0.2 * psd.band_power(200, 2000));
+}
+
+TEST(Wav, RoundTripPcm16) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "mute_wav_test.wav";
+  WavData in;
+  in.sample_rate = 16000.0;
+  ToneSource tone(440.0, 0.5, 16000.0);
+  in.samples = tone.generate(1600);
+  write_wav(path, in);
+  const auto out = read_wav(path);
+  EXPECT_DOUBLE_EQ(out.sample_rate, 16000.0);
+  ASSERT_EQ(out.samples.size(), in.samples.size());
+  for (std::size_t i = 0; i < in.samples.size(); ++i) {
+    EXPECT_NEAR(out.samples[i], in.samples[i], 1.0 / 32000.0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, ClipsOutOfRangeSamples) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "mute_wav_clip.wav";
+  WavData in;
+  in.samples = {2.0f, -2.0f, 0.0f};
+  write_wav(path, in);
+  const auto out = read_wav(path);
+  EXPECT_NEAR(out.samples[0], 1.0, 0.001);
+  EXPECT_NEAR(out.samples[1], -1.0, 0.001);
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, RejectsGarbageFile) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "mute_wav_garbage.bin";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a wav file at all, not even close......", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, RejectsMissingFile) {
+  EXPECT_THROW(read_wav("/nonexistent/path/foo.wav"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mute::audio
+
+// -- appended coverage for gating / filtering wrappers --------------------
+namespace mute::audio {
+namespace {
+
+TEST(Gated, PeriodAndDutyCycleRespected) {
+  auto inner = std::make_unique<WhiteNoiseSource>(0.5, 3);
+  GatedSource g(std::move(inner), kFs, /*period=*/1.0, /*on=*/0.25, 0.0,
+                /*ramp=*/0.0);
+  const auto x = g.generate(static_cast<std::size_t>(kFs * 3));
+  // Energy only in the first quarter of each period.
+  for (int p = 0; p < 3; ++p) {
+    const auto base = static_cast<std::size_t>(p * kFs);
+    const std::span<const Sample> on(x.data() + base,
+                                     static_cast<std::size_t>(kFs / 4));
+    const std::span<const Sample> off(x.data() + base +
+                                          static_cast<std::size_t>(kFs / 2),
+                                      static_cast<std::size_t>(kFs / 4));
+    EXPECT_GT(mute::dsp::rms(on), 0.3);
+    EXPECT_LT(mute::dsp::rms(off), 1e-6);
+  }
+}
+
+TEST(Gated, PhaseShiftsTheWindow) {
+  auto inner = std::make_unique<WhiteNoiseSource>(0.5, 3);
+  GatedSource g(std::move(inner), kFs, 1.0, 0.5, /*phase=*/0.5, 0.0);
+  const auto x = g.generate(static_cast<std::size_t>(kFs));
+  // With phase 0.5 of a 1 s period and 50% duty, (t + phase) % period
+  // lands in the ON window for t in [0.5, 1): the SECOND half is on.
+  const std::span<const Sample> first(x.data(),
+                                      static_cast<std::size_t>(kFs / 2) - 100);
+  const std::span<const Sample> second(
+      x.data() + static_cast<std::size_t>(kFs / 2) + 100,
+      static_cast<std::size_t>(kFs / 2) - 200);
+  EXPECT_LT(mute::dsp::rms(first), 1e-6);
+  EXPECT_GT(mute::dsp::rms(second), 0.3);
+}
+
+TEST(Gated, RampSmoothsEdges) {
+  auto inner = std::make_unique<BufferSource>(Signal{1.0f}, "dc");
+  GatedSource g(std::move(inner), kFs, 0.5, 0.5, 0.0, /*ramp=*/0.05);
+  const auto x = g.generate(static_cast<std::size_t>(kFs / 2));
+  EXPECT_LT(x[1], 0.05f);                       // starts near zero
+  EXPECT_NEAR(x[static_cast<std::size_t>(kFs / 8)], 1.0f, 1e-4);  // plateau
+}
+
+TEST(Gated, ResetReplays) {
+  auto inner = std::make_unique<WhiteNoiseSource>(0.5, 9);
+  GatedSource g(std::move(inner), kFs, 0.25, 0.5, 0.0);
+  const auto a = g.generate(4000);
+  g.reset();
+  const auto b = g.generate(4000);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Gated, RejectsBadParameters) {
+  EXPECT_THROW(GatedSource(std::make_unique<WhiteNoiseSource>(0.1, 1), kFs,
+                           1.0, 0.0, 0.0),
+               PreconditionError);
+  EXPECT_THROW(GatedSource(std::make_unique<WhiteNoiseSource>(0.1, 1), kFs,
+                           1.0, 0.01, 0.0, /*ramp=*/0.5),
+               PreconditionError);
+}
+
+TEST(Filtered, ShapesSpectrum) {
+  mute::dsp::BiquadCascade bp;
+  bp.push_section(mute::dsp::Biquad::bandpass(1000.0, 2.0, kFs));
+  FilteredSource f(std::make_unique<WhiteNoiseSource>(0.3, 5), std::move(bp),
+                   "vb");
+  const auto x = f.generate(64000);
+  const auto psd = mute::dsp::welch_psd(x, kFs, 1024);
+  EXPECT_GT(psd.band_power(800, 1200), 5.0 * psd.band_power(4000, 4400));
+  EXPECT_EQ(f.name(), "vb");
+}
+
+}  // namespace
+}  // namespace mute::audio

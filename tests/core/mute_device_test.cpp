@@ -1,0 +1,170 @@
+// End-to-end tests of the streaming MuteDevice: lifecycle state machine,
+// calibration quality, relay selection and live cancellation, driven
+// against a physically synthesized world (channels from the image-source
+// room model).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "acoustics/environment.hpp"
+#include "audio/generators.hpp"
+#include "common/math_utils.hpp"
+#include "core/mute_device.hpp"
+#include "dsp/fir_filter.hpp"
+#include "dsp/signal_ops.hpp"
+
+namespace mute::core {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+/// A miniature physical world for the device: one ambient source, K relay
+/// microphones, one error mic, one speaker, all synthetic FIR channels.
+struct World {
+  explicit World(std::size_t relay_count)
+      : noise(0.2, 7), h_se({0.0, 0.9, 0.2}) {
+    // Relay k hears the source advance_k samples before the ear does.
+    const std::size_t advances[] = {40, 12, 0};
+    for (std::size_t k = 0; k < relay_count; ++k) {
+      relay_advance.push_back(advances[k % 3]);
+    }
+  }
+
+  /// Advance the world one tick given the speaker output; returns the
+  /// error-mic sample for THIS tick and fills the relay feed.
+  /// The ambient source stays quiet for the first 0.6 s — the device is
+  /// powered up (and calibrates) before the disturbance starts, like the
+  /// sim's quiet-room calibration.
+  Sample step(Sample speaker_out, std::span<Sample> relay_feed) {
+    Signal one(1);
+    noise.render(one);
+    if (history.size() < 9600) one[0] = 0.0f;
+    history.push_back(one[0]);
+    const std::size_t t = history.size() - 1;
+    // Ear hears the source with a 60-sample bulk delay.
+    const Sample ambient = (t >= 60) ? history[t - 60] : 0.0f;
+    const Sample anti = h_se.process(speaker_out);
+    for (std::size_t k = 0; k < relay_feed.size(); ++k) {
+      const std::size_t lag = 60 - relay_advance[k];
+      relay_feed[k] = (t >= lag) ? history[t - lag] : 0.0f;
+    }
+    return static_cast<Sample>(static_cast<double>(ambient) +
+                               static_cast<double>(anti));
+  }
+
+  audio::WhiteNoiseSource noise;
+  mute::dsp::FirFilter h_se;
+  std::vector<std::size_t> relay_advance;
+  Signal history;
+};
+
+MuteDeviceConfig quick_config(std::size_t relays) {
+  MuteDeviceConfig cfg;
+  cfg.relay_count = relays;
+  cfg.calibration_s = 0.5;
+  cfg.secondary_taps = 32;
+  cfg.selection_period_s = 0.5;
+  cfg.lanc.fxlms.causal_taps = 64;
+  cfg.lanc.fxlms.mu = 0.4;
+  return cfg;
+}
+
+TEST(MuteDevice, LifecycleReachesRunning) {
+  World world(1);
+  MuteDevice device(quick_config(1));
+  EXPECT_EQ(device.state(), MuteDevice::State::kCalibrating);
+
+  Sample speaker = 0.0f;
+  Sample error = 0.0f;
+  Signal relay_feed(1);
+  bool saw_listening = false;
+  for (int t = 0; t < 30000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    if (device.state() == MuteDevice::State::kListening) saw_listening = true;
+  }
+  EXPECT_TRUE(saw_listening);
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 0u);
+  EXPECT_GT(device.noncausal_taps(), 20u);  // ~40-sample advance minus budget
+  EXPECT_LT(device.calibration().final_error_db, -25.0);
+}
+
+TEST(MuteDevice, CancelsOnceRunning) {
+  World world(1);
+  MuteDevice device(quick_config(1));
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  double early = 0.0, late = 0.0;
+  int early_n = 0, late_n = 0;
+  for (int t = 0; t < 80000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    if (t > 15000 && t < 25000 &&
+        device.state() == MuteDevice::State::kRunning) {
+      early += static_cast<double>(error) * static_cast<double>(error);
+      ++early_n;
+    }
+    if (t > 70000) {
+      late += static_cast<double>(error) * static_cast<double>(error);
+      ++late_n;
+    }
+  }
+  ASSERT_GT(late_n, 0);
+  const double late_db = 10.0 * std::log10(late / late_n / 0.04);
+  EXPECT_LT(late_db, -20.0);  // deep cancellation relative to ambient 0.2 rms
+}
+
+TEST(MuteDevice, PicksTheRelayWithMostLookahead) {
+  World world(3);  // advances 40, 12, 0
+  MuteDevice device(quick_config(3));
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(3);
+  for (int t = 0; t < 40000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+  }
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 0u);
+  EXPECT_NEAR(device.measured_lookahead_s(), 40.0 / kFs, 3.0 / kFs);
+}
+
+TEST(MuteDevice, StaysListeningWhenNoRelayLeads) {
+  // Single relay with ZERO advance: GCC-PHAT lag ~0 < min_lookahead.
+  World world(1);
+  world.relay_advance[0] = 0;
+  MuteDevice device(quick_config(1));
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  for (int t = 0; t < 40000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+  }
+  EXPECT_EQ(device.state(), MuteDevice::State::kListening);
+  EXPECT_FALSE(device.active_relay().has_value());
+}
+
+TEST(MuteDevice, RejectsWrongRelayCount) {
+  MuteDevice device(quick_config(2));
+  Signal wrong(1, 0.0f);
+  EXPECT_THROW(device.tick(wrong, 0.0f), PreconditionError);
+}
+
+TEST(MuteDevice, TrainingToneOnlyDuringCalibration) {
+  World world(1);
+  MuteDevice device(quick_config(1));
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  double cal_energy = 0.0;
+  for (int t = 0; t < 7000; ++t) {  // < calibration_s * fs = 8000
+    speaker = device.tick(relay_feed, error);
+    cal_energy += std::abs(static_cast<double>(speaker));
+    error = world.step(speaker, relay_feed);
+  }
+  EXPECT_EQ(device.state(), MuteDevice::State::kCalibrating);
+  EXPECT_GT(cal_energy, 100.0);  // the training noise is audible
+}
+
+}  // namespace
+}  // namespace mute::core

@@ -1,0 +1,159 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+
+namespace mute::dsp {
+namespace {
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  ComplexSignal x(64, Complex(0.0, 0.0));
+  x[0] = Complex(1.0, 0.0);
+  fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcSignalConcentratesInBinZero) {
+  ComplexSignal x(32, Complex(2.0, 0.0));
+  fft_inplace(x);
+  EXPECT_NEAR(x[0].real(), 64.0, 1e-10);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, SineConcentratesInMatchingBin) {
+  const std::size_t n = 256;
+  Signal x(n);
+  const std::size_t bin = 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<Sample>(
+        std::sin(kTwoPi * static_cast<double>(bin * i) / static_cast<double>(n)));
+  }
+  auto spec = fft_real(x);
+  // Peak magnitude n/2 at the bin, symmetric mirror at n - bin.
+  EXPECT_NEAR(std::abs(spec[bin]), n / 2.0, 1e-5);
+  EXPECT_NEAR(std::abs(spec[n - bin]), n / 2.0, 1e-5);
+  EXPECT_NEAR(std::abs(spec[bin + 3]), 0.0, 1e-5);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(7);
+  ComplexSignal x(128);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  ComplexSignal y = x;
+  fft_inplace(y);
+  ifft_inplace(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  Rng rng(3);
+  ComplexSignal a(64), b(64), sum(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = Complex(rng.gaussian(), rng.gaussian());
+    b[i] = Complex(rng.gaussian(), rng.gaussian());
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft_inplace(a);
+  fft_inplace(b);
+  fft_inplace(sum);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(11);
+  ComplexSignal x(512);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Complex(rng.gaussian(), 0.0);
+    time_energy += std::norm(v);
+  }
+  fft_inplace(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  ComplexSignal x(100);
+  EXPECT_THROW(fft_inplace(x), PreconditionError);
+}
+
+TEST(Fft, ZeroPadsToRequestedLength) {
+  Signal x(10, 1.0f);
+  auto spec = fft_real(x, 64);
+  EXPECT_EQ(spec.size(), 64u);
+  EXPECT_NEAR(spec[0].real(), 10.0, 1e-9);
+}
+
+TEST(Fft, RealSpectrumIsConjugateSymmetric) {
+  Rng rng(5);
+  Signal x(128);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  auto spec = fft_real(x);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[128 - k].real(), 1e-6);
+    EXPECT_NEAR(spec[k].imag(), -spec[128 - k].imag(), 1e-6);
+  }
+}
+
+TEST(Fft, IfftRealRecoversRealSignal) {
+  Rng rng(9);
+  Signal x(64);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  auto spec = fft_real(x);
+  auto back = ifft_real(spec);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-5);
+  }
+}
+
+TEST(Fft, BinFrequencyMapsCorrectly) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 1024, 16000.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(512, 1024, 16000.0), 8000.0);
+  EXPECT_NEAR(bin_frequency(64, 1024, 16000.0), 1000.0, 1e-12);
+}
+
+// Time-shift property: a circular shift multiplies the spectrum by a
+// linear phase. Parameterized over several shifts.
+class FftShiftTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftShiftTest, CircularShiftGivesLinearPhase) {
+  const std::size_t n = 128;
+  const int shift = GetParam();
+  Rng rng(21);
+  ComplexSignal x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), 0.0);
+  ComplexSignal shifted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shifted[(i + shift) % n] = x[i];
+  }
+  fft_inplace(x);
+  fft_inplace(shifted);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex expected =
+        x[k] * std::polar(1.0, -kTwoPi * static_cast<double>(k * shift) /
+                                   static_cast<double>(n));
+    EXPECT_NEAR(std::abs(shifted[k] - expected), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, FftShiftTest,
+                         ::testing::Values(1, 5, 17, 64, 127));
+
+}  // namespace
+}  // namespace mute::dsp

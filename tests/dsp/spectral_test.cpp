@@ -1,0 +1,163 @@
+#include "dsp/spectral.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "dsp/fir_filter.hpp"
+
+namespace mute::dsp {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+Signal make_tone(double freq, double amp, std::size_t n) {
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<Sample>(amp * std::sin(kTwoPi * freq * i / kFs));
+  }
+  return x;
+}
+
+TEST(WelchPsd, TonePeaksAtToneFrequency) {
+  const auto x = make_tone(1000.0, 0.5, 32000);
+  const auto psd = welch_psd(x, kFs, 1024);
+  // Find the max bin.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < psd.power.size(); ++i) {
+    if (psd.power[i] > psd.power[best]) best = i;
+  }
+  EXPECT_NEAR(psd.freq_hz[best], 1000.0, kFs / 1024.0);
+}
+
+TEST(WelchPsd, WhiteNoiseIsFlat) {
+  Rng rng(3);
+  Signal x(64000);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  const auto psd = welch_psd(x, kFs, 512);
+  const double low = psd.band_power(500.0, 1500.0);
+  const double high = psd.band_power(5000.0, 6000.0);
+  EXPECT_NEAR(low / high, 1.0, 0.15);
+}
+
+TEST(WelchPsd, TotalPowerMatchesVariance) {
+  Rng rng(5);
+  Signal x(64000);
+  const double sigma = 0.3;
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian(sigma));
+  const auto psd = welch_psd(x, kFs, 1024);
+  // Integrate PSD over frequency: sum(power) * bin_width ~= variance.
+  double total = 0.0;
+  for (double p : psd.power) total += p;
+  total *= kFs / 1024.0;
+  EXPECT_NEAR(total, sigma * sigma, 0.1 * sigma * sigma);
+}
+
+TEST(WelchPsd, BandPowerSplitsTotal) {
+  Rng rng(7);
+  Signal x(32000);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  const auto psd = welch_psd(x, kFs);
+  const double all = psd.band_power(0.0, 8001.0);
+  const double lower = psd.band_power(0.0, 4000.0);
+  const double upper = psd.band_power(4000.0, 8001.0);
+  EXPECT_NEAR(lower + upper, all, 1e-9);
+}
+
+TEST(WelchPsd, RejectsShortSignal) {
+  Signal x(100);
+  EXPECT_THROW(welch_psd(x, kFs, 1024), PreconditionError);
+}
+
+TEST(CrossSpectrum, CoherenceIsOneForLtiRelation) {
+  Rng rng(11);
+  Signal x(64000);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  FirFilter f({0.7, -0.3, 0.2});
+  const auto y = f.filter(x);
+  const auto cs = cross_spectrum(x, y, kFs, 512);
+  const auto coh = coherence(cs);
+  for (std::size_t k = 4; k < coh.size() - 4; ++k) {
+    EXPECT_GT(coh[k], 0.98) << "at " << cs.freq_hz[k] << " Hz";
+  }
+}
+
+TEST(CrossSpectrum, CoherenceDropsWithIndependentNoise) {
+  Rng rng(13);
+  Signal x(64000), y(64000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<Sample>(rng.gaussian());
+    y[i] = static_cast<Sample>(0.5 * x[i] + rng.gaussian());  // SNR < 0 dB
+  }
+  const auto cs = cross_spectrum(x, y, kFs, 512);
+  const auto coh = coherence(cs);
+  double mean = 0.0;
+  for (double c : coh) mean += c;
+  mean /= static_cast<double>(coh.size());
+  EXPECT_LT(mean, 0.5);
+  EXPECT_GT(mean, 0.05);
+}
+
+TEST(TransferEstimate, RecoversFirResponse) {
+  Rng rng(17);
+  Signal x(64000);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  const std::vector<double> h = {0.5, 0.25, -0.125};
+  FirFilter f(h);
+  const auto y = f.filter(x);
+  const auto cs = cross_spectrum(x, y, kFs, 1024);
+  const auto est = transfer_estimate(cs);
+  // Compare vs analytic response at a few bins.
+  for (std::size_t k : {10u, 100u, 300u, 500u}) {
+    Complex expected(0.0, 0.0);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      expected += h[i] * std::polar(1.0, -kTwoPi * cs.freq_hz[k] * i / kFs);
+    }
+    EXPECT_NEAR(std::abs(est[k] - expected), 0.0, 0.02);
+  }
+}
+
+TEST(Stft, FrameCountAndSize) {
+  Signal x(1000, 0.1f);
+  const auto frames = stft_magnitude(x, 256, 128);
+  EXPECT_EQ(frames.size(), (1000 - 256) / 128 + 1);
+  for (const auto& f : frames) EXPECT_EQ(f.size(), 129u);
+}
+
+TEST(Stft, ToneAppearsInEveryFrame) {
+  const auto x = make_tone(2000.0, 0.5, 4096);
+  const auto frames = stft_magnitude(x, 256, 128);
+  const std::size_t expected_bin = static_cast<std::size_t>(2000.0 * 256 / kFs);
+  for (const auto& f : frames) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < f.size(); ++k) {
+      if (f[k] > f[best]) best = k;
+    }
+    EXPECT_NEAR(static_cast<double>(best), static_cast<double>(expected_bin), 1.0);
+  }
+}
+
+TEST(BandEnergies, SplitsByBand) {
+  const auto x = make_tone(3000.0, 1.0, 512);
+  const auto frames = stft_magnitude(x, 256, 256);
+  ASSERT_FALSE(frames.empty());
+  const std::vector<std::pair<double, double>> bands = {
+      {0.0, 1000.0}, {1000.0, 2500.0}, {2500.0, 4000.0}, {4000.0, 8000.0}};
+  const auto e = band_energies(frames[0], kFs, 256, bands);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_GT(e[2], 100.0 * e[0]);
+  EXPECT_GT(e[2], 100.0 * e[3]);
+}
+
+TEST(PsdStruct, PowerAtFindsNearestBin) {
+  Psd psd;
+  psd.freq_hz = {0.0, 100.0, 200.0};
+  psd.power = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(psd.power_at(120.0), 2.0);
+  EXPECT_DOUBLE_EQ(psd.power_at(500.0), 3.0);
+}
+
+}  // namespace
+}  // namespace mute::dsp

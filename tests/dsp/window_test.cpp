@@ -1,0 +1,83 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mute::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZeroPeaksAtCenter) {
+  const auto w = make_window(WindowType::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndsAtPointZeroEight) {
+  const auto w = make_window(WindowType::kHamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w.back(), 0.08, 1e-12);
+}
+
+TEST(Window, BlackmanIsNonNegative) {
+  const auto w = make_window(WindowType::kBlackman, 101);
+  for (double v : w) EXPECT_GE(v, -1e-12);
+}
+
+TEST(Window, KaiserPeaksAtOneInCenter) {
+  const auto w = make_window(WindowType::kKaiser, 51, 8.0);
+  EXPECT_NEAR(w[25], 1.0, 1e-12);
+  EXPECT_LT(w.front(), 0.01);
+}
+
+TEST(Window, KaiserBetaZeroIsRectangular) {
+  const auto w = make_window(WindowType::kKaiser, 21, 0.0);
+  for (double v : w) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Window, SingleSampleWindowIsOne) {
+  for (auto type : {WindowType::kRectangular, WindowType::kHann,
+                    WindowType::kHamming, WindowType::kBlackman,
+                    WindowType::kKaiser}) {
+    const auto w = make_window(type, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, BesselI0MatchesKnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-14);
+  // I0(1) = 1.2660658..., I0(5) = 27.2398...
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-7);
+}
+
+TEST(Window, SumAndPowerHelpers) {
+  const auto w = make_window(WindowType::kRectangular, 8);
+  EXPECT_DOUBLE_EQ(window_sum(w), 8.0);
+  EXPECT_DOUBLE_EQ(window_power(w), 8.0);
+}
+
+class WindowSymmetryTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowSymmetryTest, WindowsAreSymmetric) {
+  const auto w = make_window(GetParam(), 64);
+  for (std::size_t i = 0; i < w.size() / 2; ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowSymmetryTest,
+                         ::testing::Values(WindowType::kHann,
+                                           WindowType::kHamming,
+                                           WindowType::kBlackman,
+                                           WindowType::kKaiser));
+
+}  // namespace
+}  // namespace mute::dsp

@@ -1,0 +1,180 @@
+// End-to-end tests of the paper's claims on reduced-size workloads: each
+// test exercises the full pipeline (room -> relay -> FM link -> LANC ->
+// speaker -> error mic) and asserts the *direction* of the result the
+// paper reports; the bench binaries regenerate the full figures.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "audio/generators.hpp"
+#include "audio/speech_synth.hpp"
+#include "core/gcc_phat.hpp"
+#include "core/relay_select.hpp"
+#include "eval/metrics.hpp"
+#include "sim/scenarios.hpp"
+#include "sim/system.hpp"
+
+namespace mute {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+double broadband_db(const sim::SystemResult& r, double skip_s) {
+  return eval::cancellation_spectrum(r.disturbance, r.residual, r.sample_rate,
+                                     skip_s)
+      .average_db(50.0, 4000.0);
+}
+
+TEST(Integration, MuteBeatsBoseActiveBelowOneKilohertz) {
+  const auto scene = acoustics::Scene::paper_office();
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, kFs, 7);
+
+  auto mute_cfg = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  mute_cfg.duration_s = 6.0;
+  const auto mute_run = sim::run_anc_simulation(*noise, mute_cfg);
+
+  auto bose_cfg = sim::make_scheme_config(sim::Scheme::kBoseActive, scene, 42);
+  bose_cfg.duration_s = 6.0;
+  const auto bose_run = sim::run_anc_simulation(*noise, bose_cfg);
+
+  const auto mute_spec = eval::cancellation_spectrum(
+      mute_run.disturbance, mute_run.residual, kFs, 3.0);
+  const auto bose_spec = eval::cancellation_spectrum(
+      bose_run.disturbance, bose_run.residual, kFs, 3.0);
+  // Paper: MUTE outperforms Bose by ~6.7 dB within 1 kHz.
+  EXPECT_LT(mute_spec.average_db(50, 1000),
+            bose_spec.average_db(50, 1000) - 3.0);
+  // Paper: Bose_Active is essentially ineffective above 1 kHz.
+  EXPECT_GT(bose_spec.average_db(1500, 4000), -3.0);
+  // MUTE keeps canceling up there.
+  EXPECT_LT(mute_spec.average_db(1500, 4000), -8.0);
+}
+
+TEST(Integration, WirelessLookaheadIsWhatEnablesCancellation) {
+  // Same MUTE pipeline, but the reference artificially delayed to the
+  // timing lower bound: cancellation should mostly collapse (Figure 16).
+  const auto scene = acoustics::Scene::paper_office();
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, kFs, 7);
+
+  auto cfg = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  cfg.duration_s = 6.0;
+  cfg.use_rf_link = false;
+  const auto with_lookahead = sim::run_anc_simulation(*noise, cfg);
+
+  auto starved = cfg;
+  starved.extra_reference_delay_s = with_lookahead.usable_lookahead_s;
+  const auto without = sim::run_anc_simulation(*noise, starved);
+
+  EXPECT_LT(broadband_db(with_lookahead, 3.0), broadband_db(without, 3.0) - 6.0);
+  EXPECT_LE(without.noncausal_taps, 2u);
+}
+
+TEST(Integration, PassiveShellAddsOnTopOfLanc) {
+  const auto scene = acoustics::Scene::paper_office();
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, kFs, 7);
+
+  auto hollow = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  hollow.duration_s = 6.0;
+  hollow.use_rf_link = false;
+  auto passive = sim::make_scheme_config(sim::Scheme::kMutePassive, scene, 42);
+  passive.duration_s = 6.0;
+  passive.use_rf_link = false;
+
+  const auto r_hollow = sim::run_anc_simulation(*noise, hollow);
+  const auto r_passive = sim::run_anc_simulation(*noise, passive);
+  EXPECT_LT(broadband_db(r_passive, 3.0), broadband_db(r_hollow, 3.0) - 5.0);
+}
+
+TEST(Integration, ProfilingImprovesIntermittentNoise) {
+  // Figure 17 in miniature: intermittent speech over steady background;
+  // predictive filter switching should lower the residual.
+  const auto scene = acoustics::Scene::paper_office();
+  auto make_workload = [&]() {
+    std::vector<audio::SourcePtr> parts;
+    parts.push_back(std::make_unique<audio::WhiteNoiseSource>(0.04, 5));
+    auto speech = std::make_unique<audio::SpeechSource>(
+        audio::SpeechParams::male(), kFs, 9);
+    parts.push_back(std::move(speech));
+    return std::make_unique<audio::MixSource>(std::move(parts));
+  };
+
+  auto cfg = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  cfg.duration_s = 10.0;
+  cfg.use_rf_link = false;
+
+  auto off_noise = make_workload();
+  cfg.profiling = false;
+  const auto off = sim::run_anc_simulation(*off_noise, cfg);
+
+  auto on_noise = make_workload();
+  cfg.profiling = true;
+  const auto on = sim::run_anc_simulation(*on_noise, cfg);
+
+  EXPECT_GE(on.profiles_seen, 2u);
+  EXPECT_GE(on.profile_switches, 1u);
+  // Profiling must not hurt, and generally helps by ~3 dB in the paper.
+  EXPECT_LE(broadband_db(on, 2.0), broadband_db(off, 2.0) + 1.0);
+}
+
+TEST(Integration, RelaySelectionPositiveAndNegativeLookahead) {
+  // Figure 18 in miniature: relay closer to the source than the ear gives
+  // a positive GCC-PHAT lag; a relay behind the ear gives a negative one.
+  auto scene = acoustics::Scene::paper_office();
+  const auto channels = acoustics::build_channels(scene);
+  audio::WhiteNoiseSource noise(0.2, 3);
+  const auto n_sig = noise.generate(16000);
+  const auto at_relay = channels.h_nr.apply(n_sig);
+  const auto at_ear = channels.h_ne.apply(n_sig);
+
+  const auto forward = core::gcc_phat(at_relay, at_ear, kFs);
+  EXPECT_GT(forward.peak_lag_s, 0.0);
+  EXPECT_NEAR(forward.peak_lag_s, channels.lookahead_s, 1e-3);
+
+  // Swap roles: the "relay" now sits at the ear side.
+  const auto backward = core::gcc_phat(at_ear, at_relay, kFs);
+  EXPECT_LT(backward.peak_lag_s, 0.0);
+}
+
+TEST(Integration, FmLinkPreservesCancellation) {
+  // The analog FM relay chain should cost only a little cancellation
+  // relative to a perfect wire.
+  const auto scene = acoustics::Scene::paper_office();
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, kFs, 7);
+
+  auto wired = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  wired.duration_s = 6.0;
+  wired.use_rf_link = false;
+  const auto r_wired = sim::run_anc_simulation(*noise, wired);
+
+  auto wireless = wired;
+  wireless.use_rf_link = true;
+  const auto r_wireless = sim::run_anc_simulation(*noise, wireless);
+
+  EXPECT_GT(r_wireless.link_delay_s, 0.0);
+  EXPECT_LT(broadband_db(r_wireless, 3.0), -8.0);
+  EXPECT_LT(broadband_db(r_wireless, 3.0) - broadband_db(r_wired, 3.0), 6.0);
+}
+
+TEST(Integration, WarmStartMatchesConvergedColdStart) {
+  const auto scene = acoustics::Scene::paper_office();
+  auto noise = sim::make_noise(sim::NoiseKind::kWhite, kFs, 7);
+
+  auto cold = sim::make_scheme_config(sim::Scheme::kMuteHollow, scene, 42);
+  cold.duration_s = 6.0;
+  cold.use_rf_link = false;
+  const auto r_cold = sim::run_anc_simulation(*noise, cold);
+
+  auto warm = cold;
+  warm.warm_start = true;
+  const auto r_warm = sim::run_anc_simulation(*noise, warm);
+
+  // After the skip window both should sit near the same steady state.
+  EXPECT_NEAR(broadband_db(r_warm, 3.0), broadband_db(r_cold, 3.0), 3.0);
+  // But the warm start converges faster (residual envelope settles sooner).
+  const double t_warm = eval::convergence_time_s(r_warm.residual, kFs);
+  const double t_cold = eval::convergence_time_s(r_cold.residual, kFs);
+  EXPECT_LE(t_warm, t_cold + 0.5);
+}
+
+}  // namespace
+}  // namespace mute
