@@ -90,7 +90,6 @@ int main() {
 
   // ---- 2. Head mobility -------------------------------------------------
   {
-    const auto scene = acoustics::Scene::paper_office();
     eval::Table table({"drift_m", "cancellation_dB"});
     for (double drift : {0.0, 0.1, 0.3, 0.6}) {
       auto run = bench::run_scheme(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace mute::adaptive {
@@ -23,6 +24,8 @@ FxlmsEngine::FxlmsEngine(std::vector<double> secondary_path_estimate,
 }
 
 void FxlmsEngine::push_reference(Sample x_advanced) {
+  MUTE_CHECK_FINITE(x_advanced, "FxLMS reference sample");
+  MUTE_RT_SCOPE("FxlmsEngine::push_reference");
   // Filtered reference u(t+N) = (h_se_est * x)(t+N), computed on arrival.
   const Sample u_new = sec_path_filter_.process(x_advanced);
 
@@ -42,6 +45,8 @@ Sample FxlmsEngine::compute_antinoise() const {
 }
 
 void FxlmsEngine::adapt(Sample error) {
+  MUTE_CHECK_FINITE(error, "FxLMS error-microphone sample");
+  MUTE_RT_SCOPE("FxlmsEngine::adapt");
   const double denom = std::max(u_power_, 0.0) + opts_.epsilon;
   const double g = opts_.mu * static_cast<double>(error) / denom;
   const double keep = 1.0 - opts_.mu * opts_.leakage;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace mute::core {
@@ -24,8 +25,17 @@ LancController::LancController(std::vector<double> secondary_path_estimate,
 }
 
 Sample LancController::tick(Sample x_advanced) {
+  MUTE_CHECK_FINITE(x_advanced, "LANC advanced reference sample");
+  // Profiling is control-plane work (signature extraction, weight
+  // snapshots, cache updates) and is allowed to allocate; the signal path
+  // below it is not. See DESIGN.md "Static analysis & real-time safety".
   if (opts_.profiling) run_profiler(x_advanced);
-  const Sample y = engine_.step_output(x_advanced);
+  Sample y;
+  {
+    MUTE_RT_SCOPE("LancController::tick/signal-path");
+    y = engine_.step_output(x_advanced);
+  }
+  MUTE_CHECK_FINITE(y, "LANC anti-noise output sample");
   if (opts_.profiling && switch_countdown_ >= 0) {
     if (switch_countdown_ == 0) apply_pending_switch();
     --switch_countdown_;
@@ -85,7 +95,7 @@ void LancController::run_profiler(Sample x_advanced) {
   // The transition was observed in the lookahead stream; it will reach
   // the error microphone N samples from now — schedule the swap there.
   pending_profile_ = best_id;
-  switch_countdown_ = static_cast<long>(engine_.noncausal_taps());
+  switch_countdown_ = static_cast<std::ptrdiff_t>(engine_.noncausal_taps());
   recent_ids_.clear();
 }
 

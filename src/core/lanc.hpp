@@ -96,7 +96,10 @@ class LancController {
   // deadlocks when the classifier flaps between two near-duplicate
   // clusters of the same physical source.)
   std::deque<std::size_t> recent_ids_;
-  long switch_countdown_ = -1;     // samples until a scheduled swap lands
+  // Signed so -1 can mean "no swap scheduled"; std::ptrdiff_t (not long)
+  // so it is the same width as the std::size_t tap counts it is assigned
+  // from on every platform.
+  std::ptrdiff_t switch_countdown_ = -1;  // samples until a swap lands
   std::size_t pending_profile_ = 0;
   std::size_t switch_count_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
 
@@ -93,6 +94,8 @@ Biquad Biquad::high_shelf(double freq_hz, double q, double gain_db,
 }
 
 Sample Biquad::process(Sample x) {
+  MUTE_CHECK_FINITE(x, "biquad input sample");
+  MUTE_RT_SCOPE("Biquad::process");
   const double xd = static_cast<double>(x);
   const double y = b0_ * xd + z1_;
   z1_ = b1_ * xd - a1_ * y + z2_;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "dsp/fir_design.hpp"
@@ -19,7 +20,10 @@ class DelayLine {
       : buffer_(delay_samples, 0.0f) {}
 
   Sample process(Sample x) {
+    MUTE_CHECK_FINITE(x, "delay line input sample");
+    MUTE_RT_SCOPE("DelayLine::process");
     if (buffer_.empty()) return x;
+    MUTE_DCHECK(pos_ < buffer_.size(), "delay line cursor out of range");
     const Sample out = buffer_[pos_];
     buffer_[pos_] = x;
     pos_ = (pos_ + 1) % buffer_.size();

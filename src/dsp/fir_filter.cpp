@@ -1,5 +1,6 @@
 #include "dsp/fir_filter.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace mute::dsp {
@@ -10,7 +11,10 @@ FirFilter::FirFilter(std::vector<double> coefficients)
 }
 
 Sample FirFilter::process(Sample x) {
+  MUTE_CHECK_FINITE(x, "FIR input sample");
+  MUTE_RT_SCOPE("FirFilter::process");
   const std::size_t n = coeffs_.size();
+  MUTE_DCHECK(pos_ < n, "FIR history cursor out of range");
   history_[pos_] = static_cast<double>(x);
   double acc = 0.0;
   // h[0] multiplies the newest sample, h[n-1] the oldest.

@@ -46,7 +46,8 @@ double ListenerPanel::a_weighted_level_db(std::span<const Sample> x) const {
     const Sample w = weighting.process(v);
     acc += static_cast<double>(w) * static_cast<double>(w);
   }
-  const double rms = std::sqrt(acc / std::max<std::size_t>(x.size(), 1));
+  const double rms =
+      std::sqrt(acc / static_cast<double>(std::max<std::size_t>(x.size(), 1)));
   return amplitude_to_db(rms);
 }
 

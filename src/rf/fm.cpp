@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
 
@@ -15,6 +16,8 @@ FmModulator::FmModulator(double deviation_hz, double sample_rate)
 }
 
 Complex FmModulator::modulate(Sample m) {
+  MUTE_CHECK_FINITE(m, "FM modulator input sample");
+  MUTE_RT_SCOPE("FmModulator::modulate");
   phase_ = wrap_phase(phase_ +
                       kTwoPi * deviation_ * static_cast<double>(m) / fs_);
   return std::polar(1.0, phase_);
@@ -36,6 +39,9 @@ FmDemodulator::FmDemodulator(double deviation_hz, double sample_rate,
 }
 
 Sample FmDemodulator::demodulate(Complex r) {
+  MUTE_CHECK_FINITE(r.real(), "FM demodulator baseband sample (I)");
+  MUTE_CHECK_FINITE(r.imag(), "FM demodulator baseband sample (Q)");
+  MUTE_RT_SCOPE("FmDemodulator::demodulate");
   // Phase difference between consecutive phasors; magnitude is discarded
   // (hard limiter), which is what grants AM-distortion immunity.
   const Complex d = r * std::conj(prev_);

@@ -135,8 +135,8 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
   {
     const double current = mute::dsp::rms(d_ac);
     const double g = config.disturbance_rms / std::max(current, 1e-9);
-    for (auto& v : d_ac) v = static_cast<Sample>(v * g);
-    for (auto& v : x_ac) v = static_cast<Sample>(v * g);
+    for (auto& v : d_ac) v = static_cast<Sample>(static_cast<double>(v) * g);
+    for (auto& v : x_ac) v = static_cast<Sample>(static_cast<double>(v) * g);
   }
 
   // --- 3. Reference acquisition: mic -> (FM link) -> injected delay ----

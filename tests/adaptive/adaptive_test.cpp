@@ -102,7 +102,8 @@ TEST(SysId, CalibratePathDrivesPlantFunction) {
       [](std::span<const Sample> s) {
         Signal out(s.size(), 0.0f);
         for (std::size_t i = 1; i < s.size(); ++i) {
-          out[i] = static_cast<Sample>(0.8 * s[i - 1]);  // delay-1 gain 0.8
+          // delay-1 gain 0.8
+          out[i] = static_cast<Sample>(0.8 * static_cast<double>(s[i - 1]));
         }
         return out;
       },
@@ -248,7 +249,7 @@ TEST(CausalWiener, EffortPenaltyShrinksGain) {
   Signal u(32000), d(32000);
   for (std::size_t i = 0; i < u.size(); ++i) {
     u[i] = static_cast<Sample>(rng.gaussian(0.3));
-    d[i] = static_cast<Sample>(-0.9 * u[i]);
+    d[i] = static_cast<Sample>(-0.9 * static_cast<double>(u[i]));
   }
   const auto w_free = fit_causal_fir(u, d, 4);
   const auto w_pen = fit_causal_fir(u, d, 4, 1e-4, u, 4.0);

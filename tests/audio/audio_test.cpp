@@ -79,7 +79,7 @@ TEST(Chirp, SweepsUpward) {
   auto centroid = [&](const std::vector<double>& m) {
     double num = 0, den = 0;
     for (std::size_t k = 0; k < m.size(); ++k) {
-      num += k * m[k];
+      num += static_cast<double>(k) * m[k];
       den += m[k];
     }
     return num / std::max(den, 1e-12);
@@ -155,7 +155,7 @@ TEST(Speech, ContinuousModeHasNoLongPauses) {
   // Max silent run under 0.5 s.
   std::size_t run = 0, max_run = 0;
   for (Sample v : x) {
-    if (std::abs(v) < 1e-4) {
+    if (std::abs(v) < 1e-4f) {
       ++run;
       max_run = std::max(max_run, run);
     } else {
@@ -170,7 +170,7 @@ TEST(Speech, IntermittentModeHasPauses) {
   const auto x = src.generate(static_cast<std::size_t>(kFs * 12));
   std::size_t run = 0, max_run = 0;
   for (Sample v : x) {
-    if (std::abs(v) < 1e-5) {
+    if (std::abs(v) < 1e-5f) {
       ++run;
       max_run = std::max(max_run, run);
     } else {

@@ -1,0 +1,142 @@
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "adaptive/fxlms.hpp"
+#include "core/lanc.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/delay_line.hpp"
+#include "dsp/fir_filter.hpp"
+#include "rf/fm.hpp"
+
+namespace {
+
+using mute::RtAllocationGuard;
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(Contracts, AssertPassesOnTrueCondition) {
+  MUTE_ASSERT(1 + 1 == 2, "arithmetic still works");
+}
+
+TEST(ContractsDeathTest, AssertAbortsWithMessage) {
+  EXPECT_DEATH(MUTE_ASSERT(false, "intentional failure"),
+               "MUTE_ASSERT.*intentional failure");
+}
+
+TEST(ContractsDeathTest, CheckFiniteAbortsOnNan) {
+  const float x = kNan;
+  EXPECT_DEATH(MUTE_CHECK_FINITE(x, "nan must be rejected"),
+               "MUTE_CHECK_FINITE.*nan must be rejected");
+}
+
+TEST(Contracts, CheckFinitePassesOnNormalValues) {
+  MUTE_CHECK_FINITE(0.0f, "zero is finite");
+  MUTE_CHECK_FINITE(-1e30, "large but finite");
+}
+
+TEST(ContractsDeathTest, FxlmsRejectsNanReference) {
+  mute::adaptive::FxlmsEngine engine({1.0}, {.causal_taps = 8});
+  EXPECT_DEATH(engine.step_output(kNan), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, FxlmsRejectsInfErrorSample) {
+  mute::adaptive::FxlmsEngine engine({1.0}, {.causal_taps = 8});
+  engine.step_output(0.5f);
+  EXPECT_DEATH(engine.adapt(kInf), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, FirFilterRejectsNanInput) {
+  mute::dsp::FirFilter fir({0.5, 0.25});
+  EXPECT_DEATH(fir.process(kNan), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, BiquadRejectsNanInput) {
+  auto bq = mute::dsp::Biquad::lowpass(1000.0, 0.707, 16000.0);
+  EXPECT_DEATH(bq.process(kNan), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, DelayLineRejectsInfInput) {
+  mute::dsp::DelayLine line(4);
+  EXPECT_DEATH(line.process(kInf), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, FmModulatorRejectsNanInput) {
+  mute::rf::FmModulator mod(4000.0, 256000.0);
+  EXPECT_DEATH(mod.modulate(kNan), "MUTE_CHECK_FINITE");
+}
+
+TEST(ContractsDeathTest, LancRejectsNanReference) {
+  mute::core::LancController lanc({1.0, 0.2}, {});
+  EXPECT_DEATH(lanc.tick(kNan), "MUTE_CHECK_FINITE");
+}
+
+TEST(RtAllocationGuardTest, CountsHeapAllocations) {
+  if (!RtAllocationGuard::interposition_enabled()) {
+    GTEST_SKIP() << "built with MUTE_RT_GUARD=OFF";
+  }
+  RtAllocationGuard guard(RtAllocationGuard::Mode::kCount, "count-test");
+  EXPECT_EQ(guard.allocations_since_entry(), 0u);
+  auto* v = new std::vector<double>(1024);
+  EXPECT_GE(guard.allocations_since_entry(), 1u);
+  delete v;
+}
+
+TEST(RtAllocationGuardTest, LancTickIsAllocationFreeAfterWarmup) {
+  if (!RtAllocationGuard::interposition_enabled()) {
+    GTEST_SKIP() << "built with MUTE_RT_GUARD=OFF";
+  }
+  mute::core::LancOptions opts;
+  opts.fxlms.causal_taps = 128;
+  opts.fxlms.noncausal_taps = 64;
+  mute::core::LancController lanc({1.0, 0.4, 0.1}, opts);
+
+  // Warm-up: fill histories and let any lazy setup happen.
+  for (int i = 0; i < 2048; ++i) {
+    const auto y = lanc.tick(0.01f * static_cast<float>(i % 7));
+    lanc.observe_error(0.5f * y);
+  }
+
+  RtAllocationGuard guard(RtAllocationGuard::Mode::kCount, "lanc-tick");
+  for (int i = 0; i < 4096; ++i) {
+    const auto y = lanc.tick(0.01f * static_cast<float>(i % 11));
+    lanc.observe_error(0.5f * y);
+  }
+  EXPECT_EQ(guard.allocations_since_entry(), 0u)
+      << "per-sample LANC path must not touch the heap";
+}
+
+TEST(RtAllocationGuardDeathTest, AbortsOnAllocationInRtSection) {
+  if (!RtAllocationGuard::interposition_enabled()) {
+    GTEST_SKIP() << "built with MUTE_RT_GUARD=OFF";
+  }
+  EXPECT_DEATH(
+      {
+        RtAllocationGuard guard(RtAllocationGuard::Mode::kAbort,
+                                "introduced-allocation");
+        std::vector<double> oops(256);  // the bug the guard exists to catch
+      },
+      "RtAllocationGuard.*introduced-allocation");
+}
+
+TEST(RtAllocationGuardTest, NestedGuardRestoresOuterMode) {
+  if (!RtAllocationGuard::interposition_enabled()) {
+    GTEST_SKIP() << "built with MUTE_RT_GUARD=OFF";
+  }
+  RtAllocationGuard outer(RtAllocationGuard::Mode::kCount, "outer");
+  {
+    RtAllocationGuard inner(RtAllocationGuard::Mode::kCount, "inner");
+    std::vector<int> v(16);
+    EXPECT_GE(inner.allocations_since_entry(), 1u);
+  }
+  // Allocating after the inner guard unwinds must still only count, not
+  // abort: the outer kCount mode is back in force.
+  std::vector<int> again(16);
+  EXPECT_GE(outer.allocations_since_entry(), 2u);
+}
+
+}  // namespace

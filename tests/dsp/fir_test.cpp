@@ -68,7 +68,9 @@ TEST(FirDesign, FractionalDelayIntegerCaseIsExact) {
   const auto h = design_fractional_delay(4.0, 31);
   EXPECT_NEAR(h[4], 1.0, 1e-9);
   for (std::size_t i = 0; i < h.size(); ++i) {
-    if (i != 4) EXPECT_NEAR(h[i], 0.0, 1e-9);
+    if (i != 4) {
+      EXPECT_NEAR(h[i], 0.0, 1e-9);
+    }
   }
 }
 

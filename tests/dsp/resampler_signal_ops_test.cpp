@@ -39,7 +39,8 @@ TEST(Resampler, TonePreservedThroughUpDown) {
   const std::size_t n = 8000;
   Signal x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = static_cast<Sample>(0.5 * std::sin(kTwoPi * 1000.0 * i / fs));
+    x[i] = static_cast<Sample>(
+        0.5 * std::sin(kTwoPi * 1000.0 * static_cast<double>(i) / fs));
   }
   Resampler up(16, 1), down(1, 16);
   const auto hi = up.process(x);
@@ -57,7 +58,8 @@ TEST(Resampler, AntiAliasingSuppressesOutOfBand) {
   const std::size_t n = 64000;
   Signal x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = static_cast<Sample>(std::sin(kTwoPi * 50000.0 * i / hi_fs));
+    x[i] = static_cast<Sample>(
+        std::sin(kTwoPi * 50000.0 * static_cast<double>(i) / hi_fs));
   }
   Resampler down(1, 16);
   const auto y = down.process(x);
@@ -149,7 +151,8 @@ TEST_P(ResamplerRatioTest, ToneSurvivesRatio) {
   const std::size_t n = 16000;
   Signal x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = static_cast<Sample>(0.5 * std::sin(kTwoPi * 440.0 * i / fs));
+    x[i] = static_cast<Sample>(
+        0.5 * std::sin(kTwoPi * 440.0 * static_cast<double>(i) / fs));
   }
   Resampler rs(l, m);
   const auto y = rs.process(x);

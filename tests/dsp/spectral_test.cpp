@@ -16,7 +16,8 @@ constexpr double kFs = 16000.0;
 Signal make_tone(double freq, double amp, std::size_t n) {
   Signal x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    x[i] = static_cast<Sample>(amp * std::sin(kTwoPi * freq * i / kFs));
+    x[i] = static_cast<Sample>(
+        amp * std::sin(kTwoPi * freq * static_cast<double>(i) / kFs));
   }
   return x;
 }
@@ -89,7 +90,8 @@ TEST(CrossSpectrum, CoherenceDropsWithIndependentNoise) {
   Signal x(64000), y(64000);
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = static_cast<Sample>(rng.gaussian());
-    y[i] = static_cast<Sample>(0.5 * x[i] + rng.gaussian());  // SNR < 0 dB
+    y[i] = static_cast<Sample>(0.5 * static_cast<double>(x[i]) +
+                               rng.gaussian());  // SNR < 0 dB
   }
   const auto cs = cross_spectrum(x, y, kFs, 512);
   const auto coh = coherence(cs);
@@ -113,7 +115,8 @@ TEST(TransferEstimate, RecoversFirResponse) {
   for (std::size_t k : {10u, 100u, 300u, 500u}) {
     Complex expected(0.0, 0.0);
     for (std::size_t i = 0; i < h.size(); ++i) {
-      expected += h[i] * std::polar(1.0, -kTwoPi * cs.freq_hz[k] * i / kFs);
+      expected += h[i] * std::polar(1.0, -kTwoPi * cs.freq_hz[k] *
+                                                 static_cast<double>(i) / kFs);
     }
     EXPECT_NEAR(std::abs(est[k] - expected), 0.0, 0.02);
   }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Local CI pipeline — the same three jobs as .github/workflows/ci.yml,
+# runnable on any machine with the base toolchain:
+#
+#   1. plain    : dev preset build + full ctest
+#   2. sanitize : asan-ubsan preset build + ctest -L sanitize
+#   3. analyze  : tools/run_static_analysis.sh (clang-tidy or fallback)
+#
+# Usage: tools/ci.sh [plain|sanitize|analyze]...   (default: all three)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${CI_JOBS:-$(nproc)}"
+cd "$ROOT"
+
+run_plain() {
+  echo "=== job: plain build + ctest ==="
+  cmake --preset dev
+  cmake --build --preset dev -j "$JOBS"
+  ctest --preset dev -j "$JOBS"
+}
+
+run_sanitize() {
+  echo "=== job: asan-ubsan build + ctest -L sanitize ==="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS"
+  ctest --preset asan-ubsan -j "$JOBS"
+}
+
+run_analyze() {
+  echo "=== job: static analysis ==="
+  tools/run_static_analysis.sh
+}
+
+if [[ $# -eq 0 ]]; then
+  set -- plain sanitize analyze
+fi
+
+for job in "$@"; do
+  case "$job" in
+    plain) run_plain ;;
+    sanitize) run_sanitize ;;
+    analyze) run_analyze ;;
+    *)
+      echo "unknown job: $job (expected plain|sanitize|analyze)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== CI pipeline passed ==="

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Static-analysis gate for the MUTE tree.
+#
+# Primary mode: clang-tidy over the compilation database produced by the
+# `tidy` CMake preset, with .clang-tidy's WarningsAsErrors policy — any
+# finding fails the run.
+#
+# Fallback mode (toolchains without clang-tidy, e.g. the GCC-only CI
+# image): a strict re-compile of every translation unit in the database
+# with -fsyntax-only and an extended warning set promoted to errors
+# (tools/strict_syntax_check.py). Both modes exit non-zero on any finding,
+# so `tools/run_static_analysis.sh && ...` is a valid gate either way.
+#
+# Usage: tools/run_static_analysis.sh [--build-dir DIR]
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="$ROOT/build-tidy"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "== configuring tidy preset (compilation database) =="
+  cmake --preset tidy -S "$ROOT" -B "$BUILD_DIR"
+fi
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy over $BUILD_DIR/compile_commands.json =="
+  mapfile -t FILES < <(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    db = json.load(fh)
+files = sorted({e["file"] for e in db if "/src/" in e["file"]})
+print("\n".join(files))
+EOF
+)
+  clang-tidy -p "$BUILD_DIR" --quiet "${FILES[@]}"
+  echo "clang-tidy: no findings"
+else
+  echo "== clang-tidy not found; strict GCC -fsyntax-only fallback =="
+  python3 "$ROOT/tools/strict_syntax_check.py" \
+    "$BUILD_DIR/compile_commands.json"
+fi
+
+echo "static analysis passed"

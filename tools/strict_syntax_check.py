@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Strict-warning fallback for toolchains without clang-tidy.
+
+Re-runs every translation unit from a CMake compilation database with
+-fsyntax-only and an extended warning set promoted to errors. The extra
+warnings go beyond the project's always-on set (mute_warnings) and cover
+the same bug classes the .clang-tidy config targets: slicing destructors,
+hidden virtual overloads, const-stripping casts, and preprocessor typos.
+
+Usage: strict_syntax_check.py <compile_commands.json> [jobs]
+"""
+
+import concurrent.futures
+import json
+import shlex
+import subprocess
+import sys
+
+# Promoted-to-error additions on top of the flags already present in the
+# compile command (which include -Wall -Wextra -Wpedantic -Wshadow
+# -Wconversion -Wdouble-promotion -Wold-style-cast from mute_warnings).
+EXTRA_FLAGS = [
+    "-fsyntax-only",
+    "-Werror",
+    "-Wnon-virtual-dtor",
+    "-Woverloaded-virtual",
+    "-Wcast-qual",
+    "-Wundef",
+    "-Wextra-semi",
+    "-Wvla",
+]
+
+
+def strip_output_args(argv):
+    """Drop -o/-c and the output path so the command is re-runnable."""
+    out = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg == "-o":
+            skip = True
+            continue
+        if arg == "-c":
+            continue
+        out.append(arg)
+    return out
+
+
+def check_entry(entry):
+    argv = strip_output_args(shlex.split(entry["command"])) + EXTRA_FLAGS
+    proc = subprocess.run(
+        argv,
+        cwd=entry["directory"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return entry["file"], proc.returncode, proc.stdout
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as fh:
+        db = json.load(fh)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for file, rc, output in pool.map(check_entry, db):
+            if rc != 0:
+                failures += 1
+                print(f"FAIL {file}")
+                print(output)
+    print(f"strict syntax check: {len(db)} translation units, "
+          f"{failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
