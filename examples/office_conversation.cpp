@@ -3,6 +3,7 @@
 // the sound over FM, and the open-ear device cancels it with LANC +
 // predictive profiling. Writes before/after WAV files you can listen to.
 #include <cstdio>
+#include <exception>
 
 #include "audio/generators.hpp"
 #include "audio/speech_synth.hpp"
@@ -12,7 +13,9 @@
 #include "sim/scenarios.hpp"
 #include "sim/system.hpp"
 
-int main() {
+namespace {
+
+int run_scenario() {
   using namespace mute;
 
   const auto scene = acoustics::Scene::paper_office();
@@ -58,4 +61,17 @@ int main() {
   std::printf("\nwrote office_before.wav / office_after.wav -- listen to the"
               " difference.\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  // write_wav throws on I/O failure (read-only cwd, disk full); exit with
+  // a diagnostic instead of std::terminate.
+  try {
+    return run_scenario();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "office_conversation: error: %s\n", e.what());
+    return 1;
+  }
 }

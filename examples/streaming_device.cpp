@@ -1,7 +1,8 @@
 // The online API: a MuteDevice driven one sample at a time, exactly like
 // firmware would — power-up calibration, relay association by GCC-PHAT,
-// live LANC, and automatic re-association when the noise source moves to
-// the other side of the room.
+// live LANC, automatic re-association when the noise source moves to the
+// other side of the room, and graceful degradation (kHolding) when the
+// active relay's battery dies mid-run.
 #include <cmath>
 #include <cstdio>
 
@@ -19,6 +20,7 @@ int main() {
   dsp::FirFilter h_se({0.0, 0.9, 0.2});
   Signal history;
   const int kMove = static_cast<int>(8.0 * fs);
+  const int kDrop = static_cast<int>(12.0 * fs);
 
   core::MuteDeviceConfig cfg;
   cfg.relay_count = 2;
@@ -41,6 +43,7 @@ int main() {
       case core::MuteDevice::State::kCalibrating: return "calibrating";
       case core::MuteDevice::State::kListening: return "listening  ";
       case core::MuteDevice::State::kRunning: return "running    ";
+      case core::MuteDevice::State::kHolding: return "holding    ";
     }
     return "?";
   };
@@ -60,6 +63,12 @@ int main() {
     const Sample ambient = (now >= 60) ? history[now - 60] : 0.0f;
     relay_feed[0] = (now >= 60 - lead0) ? history[now - (60 - lead0)] : 0.0f;
     relay_feed[1] = (now >= 60 - lead1) ? history[now - (60 - lead1)] : 0.0f;
+    // Era 3: the active relay's battery dies for half a second — the link
+    // monitor flags silence, the device enters kHolding (anti-noise faded
+    // out, weights frozen) and resumes when the relay comes back.
+    if (t >= kDrop && t < kDrop + static_cast<int>(0.5 * fs)) {
+      relay_feed[1] = 0.0f;
+    }
     error = static_cast<Sample>(static_cast<double>(ambient) +
                                 static_cast<double>(h_se.process(speaker)));
 
@@ -78,8 +87,14 @@ int main() {
     if (t == kMove) {
       std::printf("        >>> noise source moved across the room <<<\n");
     }
+    if (t == kDrop) {
+      std::printf("        >>> active relay battery died (0.5 s) <<<\n");
+    }
   }
   std::printf("\nExpected: relay 0 first, deep cancellation; after the move"
-              " the device\nre-associates with relay 1 and recovers.\n");
+              " the device\nre-associates with relay 1 and recovers; the"
+              " battery dropout parks it in\nkHolding (%zu hold%s) and it"
+              " resumes when the relay returns.\n",
+              device.hold_count(), device.hold_count() == 1 ? "" : "s");
   return 0;
 }

@@ -15,11 +15,15 @@ FxlmsEngine::FxlmsEngine(std::vector<double> secondary_path_estimate,
       x_hist_(w_.size(), 0.0),
       u_hist_(w_.size(), 0.0),
       sec_path_filter_(secondary_path_estimate),
-      sec_path_(std::move(secondary_path_estimate)) {
+      sec_path_(std::move(secondary_path_estimate)),
+      good_w_(w_.size(), 0.0) {
   ensure(opts_.causal_taps >= 1, "need at least one causal tap");
   ensure(opts_.mu > 0, "mu must be positive");
   ensure(opts_.epsilon > 0, "epsilon must be positive");
   ensure(opts_.leakage >= 0 && opts_.leakage < 1, "leakage in [0,1)");
+  ensure(opts_.weight_norm_limit >= 0, "weight norm limit must be >= 0");
+  ensure(opts_.min_excitation >= 0, "min excitation must be >= 0");
+  ensure(opts_.snapshot_interval >= 1, "snapshot interval must be >= 1");
   ensure(!sec_path_.empty(), "secondary path estimate must be non-empty");
 }
 
@@ -47,11 +51,48 @@ Sample FxlmsEngine::compute_antinoise() const {
 void FxlmsEngine::adapt(Sample error) {
   MUTE_CHECK_FINITE(error, "FxLMS error-microphone sample");
   MUTE_RT_SCOPE("FxlmsEngine::adapt");
+  if (opts_.min_excitation > 0.0 &&
+      u_power_ < opts_.min_excitation * static_cast<double>(w_.size())) {
+    return;  // reference too weak to identify anything; updating is noise
+  }
   const double denom = std::max(u_power_, 0.0) + opts_.epsilon;
   const double g = opts_.mu * static_cast<double>(error) / denom;
   const double keep = 1.0 - opts_.mu * opts_.leakage;
+  double norm2 = 0.0;
   for (std::size_t i = 0; i < w_.size(); ++i) {
     w_[i] = keep * w_[i] - g * u_hist_[i];
+    norm2 += w_[i] * w_[i];
+  }
+  w_norm2_ = norm2;
+  if (opts_.weight_norm_limit <= 0.0) return;
+
+  const double limit2 = opts_.weight_norm_limit * opts_.weight_norm_limit;
+  if (norm2 > limit2) [[unlikely]] {
+    // Divergence: restore the last-known-good filter rather than letting
+    // a runaway update poison every future output. The signal histories
+    // are kept — if the reference is still garbage the guard simply fires
+    // again, which keeps the norm bounded either way.
+    std::copy(good_w_.begin(), good_w_.end(), w_.begin());
+    w_norm2_ = good_norm2_;
+    since_snapshot_ = 0;
+    ++rollback_count_;
+  } else if (++since_snapshot_ >= opts_.snapshot_interval) {
+    since_snapshot_ = 0;
+    // Snapshot only a comfortably-converged filter: weights hovering near
+    // the limit are themselves suspect rollback targets. The stability
+    // ladder (norm grew at most ~50% over the last known-good snapshot)
+    // matters when a garbage reference correlates with the error and
+    // inflates the weights exponentially — that growth must never refresh
+    // the snapshot, or restore_snapshot() would restore the corruption.
+    // The additive bootstrap exists ONLY to admit the very first snapshot
+    // of a cold-started filter; once a target exists the ladder is purely
+    // multiplicative, or the bootstrap would swamp a small converged norm
+    // and whitelist multi-x corruption.
+    const double bootstrap = good_norm2_ > 0.0 ? 0.0 : 0.25;
+    if (norm2 <= 0.64 * limit2 && norm2 <= 2.25 * good_norm2_ + bootstrap) {
+      std::copy(w_.begin(), w_.end(), good_w_.begin());
+      good_norm2_ = norm2;
+    }
   }
 }
 
@@ -63,6 +104,27 @@ Sample FxlmsEngine::step_output(Sample x_advanced) {
 void FxlmsEngine::set_weights(std::span<const double> w) {
   ensure(w.size() == w_.size(), "weight size mismatch");
   std::copy(w.begin(), w.end(), w_.begin());
+  double norm2 = 0.0;
+  for (const double v : w_) norm2 += v * v;
+  w_norm2_ = norm2;
+  // Externally-installed weights (warm start, profile cache) are trusted:
+  // adopt them as the rollback target when they are inside the guard band.
+  const double limit2 =
+      opts_.weight_norm_limit * opts_.weight_norm_limit;
+  if (opts_.weight_norm_limit <= 0.0 || norm2 <= 0.64 * limit2) {
+    std::copy(w_.begin(), w_.end(), good_w_.begin());
+    good_norm2_ = norm2;
+    since_snapshot_ = 0;
+  }
+}
+
+double FxlmsEngine::weight_norm() const { return std::sqrt(w_norm2_); }
+
+void FxlmsEngine::restore_snapshot() {
+  if (opts_.weight_norm_limit <= 0.0) return;  // guard off: no snapshots
+  std::copy(good_w_.begin(), good_w_.end(), w_.begin());
+  w_norm2_ = good_norm2_;
+  since_snapshot_ = 0;
 }
 
 void FxlmsEngine::set_mu(double mu) {
@@ -91,6 +153,11 @@ void FxlmsEngine::reset_history() {
 void FxlmsEngine::reset() {
   reset_history();
   std::fill(w_.begin(), w_.end(), 0.0);
+  std::fill(good_w_.begin(), good_w_.end(), 0.0);
+  w_norm2_ = 0.0;
+  good_norm2_ = 0.0;
+  since_snapshot_ = 0;
+  rollback_count_ = 0;
 }
 
 }  // namespace mute::adaptive

@@ -21,6 +21,21 @@ struct FxlmsOptions {
   double mu = 0.5;          // NLMS-normalized step size
   double epsilon = 1e-6;    // normalization regularizer
   double leakage = 0.0;     // coefficient leakage per update
+  // Divergence guard: when the weight L2 norm exceeds this after an
+  // update, the weights roll back to the last-known-good snapshot instead
+  // of running away (a bad secondary-path estimate or a garbage reference
+  // can turn the gradient into ascent). 0 disables the guard.
+  double weight_norm_limit = 0.0;
+  // Updates between known-good snapshots; a snapshot is only taken while
+  // the norm is comfortably inside the limit (<= 80%).
+  std::size_t snapshot_interval = 256;
+  // Excitation gate: skip the update when the mean per-tap filtered
+  // reference power falls below this. NLMS divides by that power, so a
+  // near-dead reference (squelched link, jammer-captured demodulator)
+  // turns tiny updates into huge ones — a weight random-walk that can
+  // leave the filter worse than passive. 0 disables the gate (plain
+  // leakage behaviour is preserved for callers that rely on it).
+  double min_excitation = 0.0;
 };
 
 /// Filtered-x LMS with optional non-causal taps — the algorithmic heart of
@@ -61,6 +76,17 @@ class FxlmsEngine {
   const std::vector<double>& weights() const { return w_; }
   void set_weights(std::span<const double> w);
 
+  /// Current weight L2 norm (maintained incrementally by adapt()).
+  double weight_norm() const;
+  /// Times the divergence guard rolled the weights back.
+  std::size_t rollback_count() const { return rollback_count_; }
+
+  /// Restore the last-known-good snapshot (no-op when the guard is off).
+  /// Called on entry to a link-fault hold: any updates made from the
+  /// not-yet-detected garbage reference are discarded, so the filter the
+  /// device resumes with is at most `snapshot_interval` updates stale.
+  void restore_snapshot();
+
   /// Adjust the step size at run time (step-size scheduling: converge
   /// fast, then settle to a low-misadjustment step).
   void set_mu(double mu);
@@ -83,6 +109,13 @@ class FxlmsEngine {
   mute::dsp::FirFilter sec_path_filter_;
   std::vector<double> sec_path_;
   double u_power_ = 0.0;
+
+  // Divergence guard state (preallocated; adapt() stays allocation-free).
+  std::vector<double> good_w_;   // last-known-good snapshot
+  double w_norm2_ = 0.0;         // ||w||^2 after the latest update
+  double good_norm2_ = 0.0;
+  std::size_t since_snapshot_ = 0;
+  std::size_t rollback_count_ = 0;
 };
 
 }  // namespace mute::adaptive

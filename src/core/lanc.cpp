@@ -22,6 +22,9 @@ LancController::LancController(std::vector<double> secondary_path_estimate,
   // scheduled-swap countdown (both measured in profiler frames).
   snapshot_depth_ = options.switch_hysteresis +
                     engine_.noncausal_taps() / options.profile_hop + 2;
+  ensure(options.hold_ramp_s >= 0, "hold ramp must be >= 0");
+  const double ramp_samples = options.hold_ramp_s * options.sample_rate;
+  gain_step_ = ramp_samples < 1.0 ? 1.0 : 1.0 / ramp_samples;
 }
 
 Sample LancController::tick(Sample x_advanced) {
@@ -29,21 +32,47 @@ Sample LancController::tick(Sample x_advanced) {
   // Profiling is control-plane work (signature extraction, weight
   // snapshots, cache updates) and is allowed to allocate; the signal path
   // below it is not. See DESIGN.md "Static analysis & real-time safety".
-  if (opts_.profiling) run_profiler(x_advanced);
+  // It pauses while holding: a squelched (zeroed) reference would be
+  // classified as a "silence" profile and trigger a bogus swap.
+  if (opts_.profiling && !holding_) run_profiler(x_advanced);
   Sample y;
   {
     MUTE_RT_SCOPE("LancController::tick/signal-path");
     y = engine_.step_output(x_advanced);
+    // Slew the output gain toward its target so hold() fades the
+    // anti-noise out (never louder than passive on a dead reference) and
+    // resume() fades it back in without a click.
+    const double target = holding_ ? 0.0 : 1.0;
+    if (output_gain_ < target) {
+      output_gain_ = std::min(target, output_gain_ + gain_step_);
+    } else if (output_gain_ > target) {
+      output_gain_ = std::max(target, output_gain_ - gain_step_);
+    }
+    y = static_cast<Sample>(static_cast<double>(y) * output_gain_);
   }
   MUTE_CHECK_FINITE(y, "LANC anti-noise output sample");
-  if (opts_.profiling && switch_countdown_ >= 0) {
+  if (opts_.profiling && !holding_ && switch_countdown_ >= 0) {
     if (switch_countdown_ == 0) apply_pending_switch();
     --switch_countdown_;
   }
   return y;
 }
 
-void LancController::observe_error(Sample error) { engine_.adapt(error); }
+void LancController::observe_error(Sample error) {
+  if (holding_) return;  // adaptation frozen while the link is flagged
+  engine_.adapt(error);
+}
+
+void LancController::hold() {
+  holding_ = true;
+  // The link monitor needs sustained evidence before flagging, so by the
+  // time we get here the engine has spent the detection latency adapting
+  // on garbage. Rewind to the last-known-good snapshot (no-op when the
+  // weight-norm guard is disabled).
+  engine_.restore_snapshot();
+}
+
+void LancController::resume() { holding_ = false; }
 
 void LancController::run_profiler(Sample x_advanced) {
   // Rolling frame of the advanced stream.
@@ -135,6 +164,8 @@ void LancController::reset() {
   switch_countdown_ = -1;
   pending_profile_ = 0;
   switch_count_ = 0;
+  holding_ = false;
+  output_gain_ = 1.0;
 }
 
 }  // namespace mute::core

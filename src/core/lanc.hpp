@@ -25,6 +25,11 @@ struct LancOptions {
   // only sentence-scale transitions should (8 frames ~ 64 ms at 16 kHz).
   std::size_t switch_hysteresis = 8;
   ProfileClassifier::Options classifier{};
+
+  // Graceful degradation: seconds over which the anti-noise output ramps
+  // to zero after hold() (and back to unity after resume()). Short enough
+  // to beat a fault's damage, long enough to avoid an audible click.
+  double hold_ramp_s = 0.008;
 };
 
 /// Lookahead-Aware Noise Cancellation — the paper's Algorithm 1 plus the
@@ -51,7 +56,19 @@ class LancController {
   Sample tick(Sample x_advanced);
 
   /// Feed back the error microphone sample for the tick just played.
+  /// Ignored while holding (adaptation is frozen, mu -> 0 equivalent).
   void observe_error(Sample error);
+
+  /// Graceful degradation on a flagged reference link: freeze adaptation
+  /// and profiling, and ramp the anti-noise output toward zero so the ear
+  /// is never louder than passive. tick() must keep being called (with the
+  /// sanitized reference) so the ramp and the engine history advance.
+  void hold();
+
+  /// Link is healthy again: re-enable adaptation and ramp the output back.
+  void resume();
+
+  bool holding() const { return holding_; }
 
   /// Number of future taps N (== usable lookahead in samples).
   std::size_t lookahead_samples() const {
@@ -102,6 +119,12 @@ class LancController {
   std::ptrdiff_t switch_countdown_ = -1;  // samples until a swap lands
   std::size_t pending_profile_ = 0;
   std::size_t switch_count_ = 0;
+
+  // Degradation state: output gain slews toward 0 (holding) or 1 (running)
+  // by gain_step_ per tick.
+  bool holding_ = false;
+  double output_gain_ = 1.0;
+  double gain_step_ = 1.0;
 };
 
 }  // namespace mute::core

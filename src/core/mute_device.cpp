@@ -15,16 +15,39 @@ MuteDevice::MuteDevice(MuteDeviceConfig config)
   ensure(config.sample_rate > 0, "sample rate must be positive");
   ensure(config.relay_count >= 1, "need at least one relay");
   ensure(config.calibration_s > 0, "calibration duration must be positive");
+  ensure(config.hold_timeout_s > 0, "hold timeout must be positive");
   const auto cal_samples =
       static_cast<std::size_t>(config.calibration_s * config.sample_rate);
   stimulus_log_.reserve(cal_samples);
   response_log_.reserve(cal_samples);
+  if (config.link_supervision) {
+    monitors_.reserve(config.relay_count);
+    for (std::size_t k = 0; k < config.relay_count; ++k) {
+      monitors_.emplace_back(config.link_monitor, config.sample_rate);
+    }
+    sanitized_.assign(config.relay_count, 0.0f);
+  }
+  hold_timeout_samples_ = static_cast<std::size_t>(
+      config.hold_timeout_s * config.sample_rate);
 }
 
 Sample MuteDevice::tick(std::span<const Sample> relay_samples,
                         Sample error_sample) {
   ensure(relay_samples.size() == config_.relay_count,
          "one sample per relay required");
+
+  // Link supervision runs in every state so the monitors' baselines stay
+  // warm. Everything downstream (selector, LANC) consumes the sanitized
+  // feed: a flagged relay contributes zeros, so demodulator garbage can
+  // neither steer GCC-PHAT nor reach the adaptive engine (whose contract
+  // macros would abort on NaN).
+  std::span<const Sample> feed = relay_samples;
+  if (!monitors_.empty()) {
+    for (std::size_t k = 0; k < monitors_.size(); ++k) {
+      sanitized_[k] = monitors_[k].process(relay_samples[k]);
+    }
+    feed = sanitized_;
+  }
 
   switch (state_) {
     case State::kCalibrating: {
@@ -47,7 +70,7 @@ Sample MuteDevice::tick(std::span<const Sample> relay_samples,
     }
 
     case State::kListening: {
-      if (auto selection = selector_.push(relay_samples, error_sample)) {
+      if (auto selection = selector_.push(feed, error_sample)) {
         handle_selection(*selection);
       }
       return 0.0f;
@@ -55,9 +78,19 @@ Sample MuteDevice::tick(std::span<const Sample> relay_samples,
 
     case State::kRunning: {
       // Keep the periodic selection running (source may move).
-      if (auto selection = selector_.push(relay_samples, error_sample)) {
+      if (auto selection = selector_.push(feed, error_sample)) {
         handle_selection(*selection);
         if (state_ != State::kRunning) return 0.0f;
+      }
+      if (!monitors_.empty() && !monitors_[*active_relay_].healthy()) {
+        // The active link just went bad: freeze adaptation and fade the
+        // anti-noise out. The association is kept for hold_timeout_s — a
+        // brief dropout should not cost a full re-acquisition.
+        state_ = State::kHolding;
+        hold_elapsed_ = 0;
+        ++hold_count_;
+        lanc_->hold();
+        return lanc_->tick(feed[*active_relay_]);
       }
       // `error_sample` is the microphone's reading of the PREVIOUS
       // tick's field: adapt BEFORE pushing the new reference so the
@@ -65,8 +98,36 @@ Sample MuteDevice::tick(std::span<const Sample> relay_samples,
       // push misaligns the gradient by one sample — 180 degrees of phase
       // at Nyquist, enough to destabilize the loop.
       lanc_->observe_error(error_sample);
-      const Sample y = lanc_->tick(relay_samples[*active_relay_]);
+      const Sample y = lanc_->tick(feed[*active_relay_]);
       return y;
+    }
+
+    case State::kHolding: {
+      // Selection keeps buffering (on sanitized feeds, so the dead relay
+      // reads as silence and cannot win a round), but association changes
+      // wait until the hold resolves one way or the other.
+      selector_.push(feed, error_sample);
+      if (monitors_[*active_relay_].healthy()) {
+        // Link is back: unfreeze and fade the anti-noise back in. The
+        // frozen weights are the pre-fault filter, so cancellation
+        // recovers as fast as the engine's history refills.
+        lanc_->resume();
+        state_ = State::kRunning;
+        adverse_rounds_ = 0;
+        return lanc_->tick(feed[*active_relay_]);
+      }
+      if (++hold_elapsed_ >= hold_timeout_samples_) {
+        // The link did not come back: drop the association and re-listen
+        // (the paper's "nudge the user" case — another relay may win the
+        // next selection round).
+        lanc_.reset();
+        active_relay_.reset();
+        lookahead_s_ = 0.0;
+        adverse_rounds_ = 0;
+        state_ = State::kListening;
+        return 0.0f;
+      }
+      return lanc_->tick(feed[*active_relay_]);  // fading toward zero
     }
   }
   throw InvariantError("unreachable device state");
@@ -134,6 +195,15 @@ void MuteDevice::handle_selection(const RelaySelection& selection) {
     const double usable = usable_lookahead_s(lookahead, config_.latency);
     LancOptions opts = config_.lanc;
     opts.sample_rate = config_.sample_rate;
+    if (opts.fxlms.weight_norm_limit <= 0.0) {
+      opts.fxlms.weight_norm_limit = config_.weight_norm_limit;
+    }
+    if (config_.link_supervision && opts.fxlms.min_excitation <= 0.0) {
+      // Don't adapt on a nearly-dead reference (see FxlmsOptions): the
+      // window between a link fault and its detection must not corrupt
+      // the weights the device will resume with.
+      opts.fxlms.min_excitation = 1e-5;
+    }
     opts.fxlms.noncausal_taps = std::min<std::size_t>(
         config_.max_noncausal_taps,
         lookahead_taps(usable, config_.sample_rate));

@@ -8,6 +8,7 @@
 #include "adaptive/sysid.hpp"
 #include "audio/generators.hpp"
 #include "core/lanc.hpp"
+#include "core/link_monitor.hpp"
 #include "core/relay_select.hpp"
 #include "core/timing.hpp"
 
@@ -35,6 +36,18 @@ struct MuteDeviceConfig {
   std::size_t max_noncausal_taps = 192;
   LatencyBudget latency = LatencyBudget::mute_ear_device();
 
+  // Link supervision: one LinkMonitor per relay watches the forwarded
+  // reference. When the active relay's link is flagged the device enters
+  // kHolding (adaptation frozen, anti-noise faded out); if the link stays
+  // bad past `hold_timeout_s` the association is dropped and the device
+  // re-listens.
+  bool link_supervision = true;
+  LinkMonitorOptions link_monitor{};
+  double hold_timeout_s = 1.5;
+  // FxLMS divergence guard installed into the LANC engine (see
+  // FxlmsOptions::weight_norm_limit); 0 disables.
+  double weight_norm_limit = 100.0;
+
   std::uint64_t seed = 1;
 };
 
@@ -54,10 +67,15 @@ struct MuteDeviceConfig {
 ///   kRunning      — LANC on the chosen relay; keeps re-running selection
 ///                   each period and re-arms if the relay changes or loses
 ///                   its lookahead (the paper's "nudge the user" case maps
-///                   to a return to kListening).
+///                   to a return to kListening);
+///   kHolding      — the active relay's link is flagged (dropout, garbage,
+///                   silence): adaptation frozen, anti-noise faded to zero
+///                   (never louder than passive). Resumes kRunning if the
+///                   link recovers within `hold_timeout_s`, else drops the
+///                   association and returns to kListening to re-acquire.
 class MuteDevice {
  public:
-  enum class State { kCalibrating, kListening, kRunning };
+  enum class State { kCalibrating, kListening, kRunning, kHolding };
 
   explicit MuteDevice(MuteDeviceConfig config);
 
@@ -75,6 +93,13 @@ class MuteDevice {
 
   /// Secondary-path calibration result (empty before calibration ends).
   const adaptive::SysIdResult& calibration() const { return calibration_; }
+
+  /// Per-relay link monitor (nullptr when link supervision is off).
+  const LinkMonitor* link_monitor(std::size_t relay) const {
+    return relay < monitors_.size() ? &monitors_[relay] : nullptr;
+  }
+  /// Times the device entered kHolding.
+  std::size_t hold_count() const { return hold_count_; }
 
   const MuteDeviceConfig& config() const { return config_; }
 
@@ -99,6 +124,15 @@ class MuteDevice {
 
   // The running controller (created once a relay is chosen).
   std::optional<LancController> lanc_;
+
+  // Link supervision (empty when disabled). `sanitized_` is the per-tick
+  // squelched copy of the relay feed, preallocated so tick() never
+  // allocates for it.
+  std::vector<LinkMonitor> monitors_;
+  Signal sanitized_;
+  std::size_t hold_timeout_samples_ = 0;
+  std::size_t hold_elapsed_ = 0;
+  std::size_t hold_count_ = 0;
 
   // Re-selection hysteresis: while cancellation is active the error mic is
   // (by design!) quiet, so GCC-PHAT rounds lose confidence or mis-peak.

@@ -75,7 +75,7 @@ void EarReceiver::reset() {
 
 RelayLink::RelayLink(const RelayConfig& config, std::uint64_t seed)
     : cfg_(config), seed_(seed), tx_(config, seed),
-      channel_(config.channel, config.rf_rate, seed + 1),
+      channel_(config.faults, config.channel, config.rf_rate, seed + 1),
       rx_(config, seed + 2) {}
 
 Signal RelayLink::process(std::span<const Sample> audio) {
@@ -86,13 +86,24 @@ Signal RelayLink::process(std::span<const Sample> audio) {
   return out;
 }
 
+void RelayLink::set_fault_schedule(FaultSchedule schedule) {
+  cfg_.faults = schedule;
+  channel_.set_schedule(std::move(schedule));
+  invalidate_latency_cache();
+}
+
 double RelayLink::measure_latency_samples() {
   if (cached_latency_ >= 0.0) return cached_latency_;
   // Probe with band-limited white noise and find the cross-correlation
-  // peak between input and output.
+  // peak between input and output. The probe link strips the fault
+  // schedule: a measurement taken through a scripted outage or jammer
+  // burst would be garbage, and what the timing budget needs is the
+  // *nominal* group delay of the healthy link.
   const auto n = static_cast<std::size_t>(cfg_.audio_rate / 2);  // 0.5 s
   mute::audio::WhiteNoiseSource probe(0.2, seed_ + 77);
-  RelayLink fresh(cfg_, seed_);  // do not disturb streaming state
+  RelayConfig probe_cfg = cfg_;
+  probe_cfg.faults = FaultSchedule{};
+  RelayLink fresh(probe_cfg, seed_);  // do not disturb streaming state
   Signal in = probe.generate(n);
   Signal out = fresh.process(in);
 
@@ -160,7 +171,9 @@ void RelayLink::reset() {
   tx_.reset();
   channel_.reset();
   rx_.reset();
-  cached_latency_ = -1.0;
+  // cached_latency_ is intentionally kept: the link replays the same
+  // deterministic stream after a reset, so the measured group delay is
+  // still correct. See measure_latency_samples() in relay.hpp.
 }
 
 }  // namespace mute::rf

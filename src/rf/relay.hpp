@@ -6,6 +6,7 @@
 #include "common/types.hpp"
 #include "rf/fm.hpp"
 #include "rf/frontend.hpp"
+#include "rf/impairments.hpp"
 #include "rf/oscillator.hpp"
 #include "rf/rf_channel.hpp"
 
@@ -28,6 +29,10 @@ struct RelayConfig {
   // frequency-flipped version.
   bool scramble = false;
   RfChannelParams channel{};
+  // Scripted fault events (relay power-off, jammers, fades, impulses,
+  // clock drift) injected around the benign channel model. Empty = the
+  // benign link. See rf/impairments.hpp.
+  FaultSchedule faults{};
 };
 
 /// The all-analog IoT relay transmitter (paper Figure 9): microphone audio
@@ -84,7 +89,26 @@ class RelayLink {
 
   /// Estimate the link group delay by cross-correlating a white probe with
   /// its received copy. Deterministic per seed; cached after first call.
+  ///
+  /// Cache invariant: the measurement depends only on (config, seed) — the
+  /// probe always runs through a *fresh, fault-free* copy of the link — so
+  /// the cached value stays valid across `reset()` and across streaming.
+  /// It does NOT survive anything that changes the link's group delay:
+  /// callers that mutate the config or install a fault schedule containing
+  /// clock drift (which accumulates a persistent timing shift, see
+  /// FaultInjector::accumulated_drift_samples()) must call
+  /// `invalidate_latency_cache()` to force a re-measure.
   double measure_latency_samples();
+
+  /// Drop the cached group-delay measurement. Called automatically by
+  /// `set_fault_schedule()`; call it manually after mutating anything else
+  /// that affects the link's timing.
+  void invalidate_latency_cache() { cached_latency_ = -1.0; }
+
+  /// Replace the scripted fault schedule mid-life. The injector's fault
+  /// clock restarts at stream time zero; the latency cache is invalidated
+  /// because drift events change the link's effective group delay.
+  void set_fault_schedule(FaultSchedule schedule);
 
   /// Audio-band SNDR of the link for a sine probe at `tone_hz`, in dB.
   double measure_sndr_db(double tone_hz, double amplitude = 0.5);
@@ -95,13 +119,18 @@ class RelayLink {
   Signal eavesdrop(std::span<const Sample> audio);
 
   const RelayConfig& config() const { return cfg_; }
+  const FaultInjector& injector() const { return channel_; }
+
+  /// Rewind the link to stream time zero. Deterministic per (config, seed),
+  /// so the latency cache is intentionally kept — see
+  /// measure_latency_samples() for the invariant.
   void reset();
 
  private:
   RelayConfig cfg_;
   std::uint64_t seed_;
   RelayTransmitter tx_;
-  RfChannel channel_;
+  FaultInjector channel_;
   EarReceiver rx_;
   double cached_latency_ = -1.0;
 };

@@ -112,4 +112,57 @@ audio::SourcePtr make_noise(NoiseKind kind, double sample_rate,
   throw PreconditionError("unknown noise kind");
 }
 
+const char* fault_scenario_name(FaultScenario scenario) {
+  switch (scenario) {
+    case FaultScenario::kNone: return "none";
+    case FaultScenario::kRelayDropout: return "relay_dropout";
+    case FaultScenario::kJammerBurst: return "jammer_burst";
+    case FaultScenario::kDeepFade: return "deep_fade";
+    case FaultScenario::kImpulseNoise: return "impulse_noise";
+    case FaultScenario::kClockDrift: return "clock_drift";
+  }
+  return "?";
+}
+
+void apply_fault_scenario(SystemConfig& cfg, FaultScenario scenario,
+                          double start_s, double duration_s) {
+  if (scenario == FaultScenario::kNone) return;
+  // Faults only exist on the wireless chain; force it on so a Bose-style
+  // config passed here fails loudly in the link instead of silently
+  // running fault-free.
+  cfg.wireless_reference = true;
+  cfg.use_rf_link = true;
+  cfg.link_supervision = true;
+  if (cfg.weight_norm_limit <= 0.0) cfg.weight_norm_limit = 50.0;
+
+  rf::FaultSchedule faults;
+  switch (scenario) {
+    case FaultScenario::kNone:
+      break;
+    case FaultScenario::kRelayDropout:
+      faults.relay_off(start_s, duration_s);
+      break;
+    case FaultScenario::kJammerBurst:
+      // A co-channel emitter well above our post-backoff envelope, offset
+      // into the channel-select passband.
+      faults.jammer(start_s, duration_s, /*offset_hz=*/40e3,
+                    /*power_db=*/6.0);
+      break;
+    case FaultScenario::kDeepFade:
+      // Deep enough to push the FM demodulator below its capture
+      // threshold: a 35 dB fade still demodulates cleanly (measured), a
+      // 48 dB fade collapses into discriminator noise the monitor flags.
+      faults.deep_fade(start_s, duration_s, /*depth_db=*/48.0);
+      break;
+    case FaultScenario::kImpulseNoise:
+      faults.impulse_noise(start_s, duration_s, /*rate_hz=*/400.0,
+                           /*amplitude=*/12.0);
+      break;
+    case FaultScenario::kClockDrift:
+      faults.clock_drift(start_s, duration_s, /*ppm=*/80.0);
+      break;
+  }
+  cfg.rf.faults = faults;
+}
+
 }  // namespace mute::sim

@@ -43,4 +43,23 @@ const char* noise_name(NoiseKind kind);
 audio::SourcePtr make_noise(NoiseKind kind, double sample_rate,
                             std::uint64_t seed);
 
+/// Canned RF-fault scenarios for robustness experiments (bench/tests).
+enum class FaultScenario {
+  kNone,
+  kRelayDropout,   // relay power loss: carrier off for the whole window
+  kJammerBurst,    // strong co-channel tone inside the window
+  kDeepFade,       // 48 dB flat fade (below FM threshold), smooth edges
+  kImpulseNoise,   // impulsive wideband interference
+  kClockDrift,     // 80 ppm relay clock error across the window
+};
+
+const char* fault_scenario_name(FaultScenario scenario);
+
+/// Install `scenario` into `cfg`: forces the RF link on, scripts the fault
+/// over [start_s, start_s + duration_s), and arms the degradation stack
+/// (link supervision + FxLMS weight-norm guard). kNone leaves `cfg`
+/// untouched.
+void apply_fault_scenario(SystemConfig& cfg, FaultScenario scenario,
+                          double start_s = 4.5, double duration_s = 0.5);
+
 }  // namespace mute::sim

@@ -247,10 +247,28 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
   lanc_opts.fxlms.noncausal_taps = noncausal;
   lanc_opts.fxlms.mu = config.mu;
   lanc_opts.fxlms.leakage = config.leakage;
+  lanc_opts.fxlms.weight_norm_limit = config.weight_norm_limit;
+  if (config.link_supervision) {
+    // Robust-adaptation companion to the monitor: during the detection
+    // latency of a silence/capture fault the reference is nearly dead,
+    // and NLMS's normalization would amplify those samples into weight
+    // random-walk. Gate updates below ~3e-3 rms per-tap excitation.
+    lanc_opts.fxlms.min_excitation = 1e-5;
+  }
   lanc_opts.sample_rate = fs;
   lanc_opts.profiling = config.profiling;
   lanc_opts.switch_hysteresis = config.profile_hysteresis;
   core::LancController lanc(cal.impulse_response, lanc_opts);
+
+  // Link supervision: the monitor sits between the received reference and
+  // the controller. While it flags the link, the LANC holds (adaptation
+  // frozen, output fading to zero) and the engine sees only sanitized
+  // samples — demodulator garbage never reaches the adaptive weights.
+  std::optional<core::LinkMonitor> link_monitor;
+  if (config.link_supervision) {
+    link_monitor.emplace(config.link_monitor, fs);
+  }
+  bool link_ok = true;
 
   // --- 8. Passive shell on the external-noise path ---------------------
   Signal d_at_ear = d_ac;
@@ -332,7 +350,23 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
       lanc.engine().set_mu(config.mu_settle +
                            (config.mu - config.mu_settle) * frac);
     }
-    const Sample y = lanc.tick(x_link[t]);
+    Sample x_t = x_link[t];
+    if (link_monitor) {
+      x_t = link_monitor->process(x_t);
+      const bool ok = link_monitor->healthy();
+      if (!ok && link_ok) {
+        lanc.hold();
+        if (result.first_fault_s < 0) {
+          result.first_fault_s = static_cast<double>(t) / fs;
+        }
+      } else if (ok && !link_ok) {
+        lanc.resume();
+        result.last_recovery_s = static_cast<double>(t) / fs;
+      }
+      link_ok = ok;
+      if (!ok) result.link_fault_flags |= link_monitor->flags();
+    }
+    const Sample y = lanc.tick(x_t);
     const Sample spk = speaker.process(y);
     const Sample anti = hse_stream.process(spk);
     const Sample at_ear =
@@ -363,6 +397,11 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
   result.calibration_error_db = cal.final_error_db;
   result.profile_switches = lanc.profile_switch_count();
   result.profiles_seen = lanc.profile_count();
+  if (link_monitor) {
+    result.link_fault_samples = link_monitor->unhealthy_samples();
+    result.link_fault_episodes = link_monitor->fault_episodes();
+  }
+  result.weight_rollbacks = lanc.engine().rollback_count();
   return result;
 }
 

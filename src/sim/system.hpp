@@ -7,6 +7,7 @@
 #include "acoustics/environment.hpp"
 #include "audio/source.hpp"
 #include "core/lanc.hpp"
+#include "core/link_monitor.hpp"
 #include "core/timing.hpp"
 #include "rf/relay.hpp"
 #include "sim/passive.hpp"
@@ -31,8 +32,18 @@ struct SystemConfig {
   // Reference acquisition.
   bool wireless_reference = true;     // false = headphone-mounted ref mic
   bool use_rf_link = true;            // push reference through the FM chain
-  rf::RelayConfig rf{};
+  rf::RelayConfig rf{};               // rf.faults scripts link faults
   double extra_reference_delay_s = 0.0;  // Figure 16 delayed-line injection
+
+  // Link supervision & graceful degradation (opt-in; pairs with
+  // rf.faults): a LinkMonitor watches the received reference and, while it
+  // is flagged, the LANC freezes adaptation and fades the anti-noise out so
+  // the ear is never louder than passive. Off by default so benign-channel
+  // experiments are bit-identical with and without this subsystem.
+  bool link_supervision = false;
+  core::LinkMonitorOptions link_monitor{};
+  // FxLMS divergence guard (FxlmsOptions::weight_norm_limit); 0 = off.
+  double weight_norm_limit = 0.0;
 
   // Processing-latency budget (Equation 3).
   core::LatencyBudget latency = core::LatencyBudget::mute_ear_device();
@@ -150,6 +161,14 @@ struct SystemResult {
   // Profiling diagnostics.
   std::size_t profile_switches = 0;
   std::size_t profiles_seen = 0;
+
+  // Fault/recovery diagnostics (populated when link_supervision is on).
+  std::size_t link_fault_samples = 0;   // reference samples flagged bad
+  std::size_t link_fault_episodes = 0;  // distinct flagged intervals
+  double first_fault_s = -1.0;          // onset of the first flag (-1: none)
+  double last_recovery_s = -1.0;        // end of the last flag (-1: none)
+  unsigned link_fault_flags = 0;        // LinkFlags bitmask union
+  std::size_t weight_rollbacks = 0;     // divergence-guard firings
 };
 
 /// Run a complete ANC simulation: synthesize room channels, calibrate the

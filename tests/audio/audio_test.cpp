@@ -246,6 +246,63 @@ TEST(Wav, RejectsMissingFile) {
   EXPECT_THROW(read_wav("/nonexistent/path/foo.wav"), std::runtime_error);
 }
 
+namespace {
+/// Write a valid mono WAV, then truncate the file to `keep_bytes`.
+std::string write_truncated_wav(const char* name, std::size_t keep_bytes) {
+  const std::string path = std::filesystem::temp_directory_path() / name;
+  WavData in;
+  in.sample_rate = 16000.0;
+  in.samples.assign(400, 0.25f);
+  write_wav(path, in);
+  std::filesystem::resize_file(path, keep_bytes);
+  return path;
+}
+}  // namespace
+
+TEST(Wav, RejectsTruncatedRiffHeader) {
+  // Cut mid-header: fewer than the 44 bytes a minimal RIFF/WAVE needs.
+  const auto path = write_truncated_wav("mute_wav_trunc_header.wav", 20);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, RejectsShortDataChunk) {
+  // Header intact, but the data chunk promises 800 bytes and the file
+  // ends after 100 of them (interrupted download / full disk).
+  const auto path = write_truncated_wav("mute_wav_short_data.wav", 44 + 100);
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, RejectsUnsupportedEncoding) {
+  // Structurally valid RIFF/WAVE, but 8-bit PCM — not an encoding the
+  // reader supports (PCM16 or float32 only).
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "mute_wav_pcm8.wav";
+  WavData in;
+  in.sample_rate = 16000.0;
+  in.samples.assign(64, 0.1f);
+  write_wav(path, in);
+  {
+    // Patch fmt: bits-per-sample (offset 34) 16 -> 8, block align
+    // (offset 32) 2 -> 1, byte rate (offset 28) halved.
+    FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const unsigned char bits8[] = {8, 0};
+    const unsigned char align1[] = {1, 0};
+    const unsigned char rate[] = {0x80, 0x3E, 0, 0};  // 16000
+    std::fseek(f, 34, SEEK_SET);
+    std::fwrite(bits8, 1, 2, f);
+    std::fseek(f, 32, SEEK_SET);
+    std::fwrite(align1, 1, 2, f);
+    std::fseek(f, 28, SEEK_SET);
+    std::fwrite(rate, 1, 4, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_wav(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace mute::audio
 

@@ -9,6 +9,7 @@
 #include "acoustics/environment.hpp"
 #include "audio/generators.hpp"
 #include "common/math_utils.hpp"
+#include "common/rng.hpp"
 #include "core/mute_device.hpp"
 #include "dsp/fir_filter.hpp"
 #include "dsp/signal_ops.hpp"
@@ -143,6 +144,99 @@ TEST(MuteDevice, StaysListeningWhenNoRelayLeads) {
   }
   EXPECT_EQ(device.state(), MuteDevice::State::kListening);
   EXPECT_FALSE(device.active_relay().has_value());
+}
+
+TEST(MuteDevice, ShortRelayLossHoldsThenResumes) {
+  World world(1);
+  auto cfg = quick_config(1);
+  cfg.hold_timeout_s = 1.0;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  const int kDrop = 30000;                        // well into kRunning
+  const int kRestore = kDrop + 5600;              // 0.35 s outage
+  bool saw_holding = false;
+  for (int t = 0; t < 60000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    // The relay's battery dies: its feed goes silent (not noisy — the
+    // device-side monitor sees whatever the receiver hands it).
+    if (t >= kDrop && t < kRestore) relay_feed[0] = 0.0f;
+    if (device.state() == MuteDevice::State::kHolding) saw_holding = true;
+    if (t == kDrop) {
+      ASSERT_EQ(device.state(), MuteDevice::State::kRunning);
+    }
+  }
+  EXPECT_TRUE(saw_holding);
+  EXPECT_EQ(device.hold_count(), 1u);
+  // Outage (0.35 s) was shorter than hold_timeout_s: the association
+  // survived and the device resumed cancelling on the same relay.
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 0u);
+  ASSERT_NE(device.link_monitor(0), nullptr);
+  EXPECT_GE(device.link_monitor(0)->fault_episodes(), 1u);
+}
+
+TEST(MuteDevice, LongRelayLossFallsBackToListeningThenReacquires) {
+  World world(1);
+  auto cfg = quick_config(1);
+  cfg.hold_timeout_s = 0.5;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  const int kDrop = 30000;
+  const int kRestore = kDrop + 19200;  // 1.2 s outage >> hold timeout
+  bool saw_listening_again = false;
+  for (int t = 0; t < 90000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    if (t >= kDrop && t < kRestore) relay_feed[0] = 0.0f;
+    if (t > kDrop && device.state() == MuteDevice::State::kListening) {
+      saw_listening_again = true;
+      EXPECT_FALSE(device.active_relay().has_value());
+    }
+  }
+  // The hold timed out: association dropped, device went back to
+  // kListening, then re-acquired the relay once its feed returned.
+  EXPECT_TRUE(saw_listening_again);
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 0u);
+}
+
+TEST(MuteDevice, SupervisionOffDisablesMonitors) {
+  auto cfg = quick_config(1);
+  cfg.link_supervision = false;
+  MuteDevice device(cfg);
+  EXPECT_EQ(device.link_monitor(0), nullptr);
+  EXPECT_EQ(device.hold_count(), 0u);
+}
+
+TEST(MuteDevice, GarbageReferenceNeverReachesTheEngine) {
+  // A noise-burst reference (demod garbage) while running: the sanitized
+  // feed squelches it, the device holds, and every output stays finite.
+  World world(1);
+  auto cfg = quick_config(1);
+  cfg.hold_timeout_s = 1.0;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(1);
+  Rng garbage(99);
+  const int kDrop = 30000;
+  const int kRestore = kDrop + 4800;  // 0.3 s of demod noise
+  for (int t = 0; t < 50000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    ASSERT_TRUE(std::isfinite(static_cast<double>(speaker)));
+    error = world.step(speaker, relay_feed);
+    if (t >= kDrop && t < kRestore) {
+      // Demod noise dwarfs this world's 0.2-rms ambient — the surge the
+      // dropout detector keys on is relative to the healthy baseline.
+      relay_feed[0] = static_cast<Sample>(0.7 * garbage.gaussian());
+    }
+  }
+  EXPECT_GE(device.hold_count(), 1u);
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
 }
 
 TEST(MuteDevice, RejectsWrongRelayCount) {

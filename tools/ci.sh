@@ -7,6 +7,9 @@
 #   3. analyze  : tools/run_static_analysis.sh (clang-tidy or fallback)
 #
 # Usage: tools/ci.sh [plain|sanitize|analyze]...   (default: all three)
+#
+# Every ctest run carries --timeout 900: a hung test (deadlock, runaway
+# convergence loop) fails after 15 minutes instead of wedging the job.
 
 set -euo pipefail
 
@@ -18,14 +21,14 @@ run_plain() {
   echo "=== job: plain build + ctest ==="
   cmake --preset dev
   cmake --build --preset dev -j "$JOBS"
-  ctest --preset dev -j "$JOBS"
+  ctest --preset dev -j "$JOBS" --timeout 900
 }
 
 run_sanitize() {
   echo "=== job: asan-ubsan build + ctest -L sanitize ==="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$JOBS"
-  ctest --preset asan-ubsan -j "$JOBS"
+  ctest --preset asan-ubsan -j "$JOBS" --timeout 900
 }
 
 run_analyze() {
