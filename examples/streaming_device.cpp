@@ -44,6 +44,7 @@ int main() {
       case core::MuteDevice::State::kListening: return "listening  ";
       case core::MuteDevice::State::kRunning: return "running    ";
       case core::MuteDevice::State::kHolding: return "holding    ";
+      case core::MuteDevice::State::kHandoff: return "handoff    ";
     }
     return "?";
   };

@@ -127,6 +127,34 @@ void FxlmsEngine::restore_snapshot() {
   since_snapshot_ = 0;
 }
 
+void FxlmsEngine::retarget_noncausal(std::size_t new_noncausal,
+                                     std::ptrdiff_t weight_shift) {
+  const std::size_t new_total = new_noncausal + opts_.causal_taps;
+  std::vector<double> w_new(new_total, 0.0);
+  double norm2 = 0.0;
+  const auto old_total = static_cast<std::ptrdiff_t>(w_.size());
+  for (std::size_t i = 0; i < new_total; ++i) {
+    const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(i) + weight_shift;
+    if (src >= 0 && src < old_total) {
+      w_new[i] = w_[static_cast<std::size_t>(src)];
+      norm2 += w_new[i] * w_new[i];
+    }
+  }
+  w_ = std::move(w_new);
+  opts_.noncausal_taps = new_noncausal;
+  x_hist_.assign(new_total, 0.0);
+  u_hist_.assign(new_total, 0.0);
+  sec_path_filter_.reset();
+  u_power_ = 0.0;
+  w_norm2_ = norm2;
+  // The remap is a subset of the live weights, so its norm is bounded by
+  // theirs — adopt it unconditionally as the rollback target (the guard
+  // band check in set_weights() exists for untrusted external vectors).
+  good_w_ = w_;
+  good_norm2_ = norm2;
+  since_snapshot_ = 0;
+}
+
 void FxlmsEngine::set_mu(double mu) {
   ensure(mu > 0, "mu must be positive");
   opts_.mu = mu;

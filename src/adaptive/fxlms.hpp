@@ -87,6 +87,26 @@ class FxlmsEngine {
   /// device resumes with is at most `snapshot_interval` updates stale.
   void restore_snapshot();
 
+  /// Re-size the non-causal window to `new_noncausal` taps while keeping
+  /// the converged filter, for a relay handoff (the standby relay offers a
+  /// different usable lookahead). The surviving weights are shifted so
+  /// they stay aligned in *source time*: w_new[i] = w_old[i + weight_shift]
+  /// (out-of-range taps are zero). For a handoff from a relay leading the
+  /// ear by a_old samples (N_old future taps) to one leading by a_new
+  /// (N_new future taps), the aligning shift is
+  ///
+  ///   weight_shift = (N_old - N_new) + (a_old - a_new)
+  ///
+  /// — the N term re-anchors the array index (index i means w_{i-N}) and
+  /// the a term re-times the reference stream itself. Exact when the two
+  /// relays differ by a pure delay; a warm start the LMS refines when
+  /// their room paths also differ. The remapped weights become the
+  /// rollback snapshot (a shift only drops taps, so the norm cannot grow)
+  /// and the signal history is cleared — it belongs to the old relay's
+  /// stream. Control-plane: allocates; never call from per-sample code.
+  void retarget_noncausal(std::size_t new_noncausal,
+                          std::ptrdiff_t weight_shift);
+
   /// Adjust the step size at run time (step-size scheduling: converge
   /// fast, then settle to a low-misadjustment step).
   void set_mu(double mu);

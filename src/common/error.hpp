@@ -19,17 +19,22 @@ class InvariantError : public std::logic_error {
 };
 
 /// Validate a documented precondition; throws PreconditionError on failure.
-inline void ensure(bool condition, const std::string& what,
+/// Takes `what` as a C string on purpose: several per-sample entry points
+/// (MuteDevice::tick, LancController::tick) ensure() their preconditions
+/// every audio tick, and a `const std::string&` parameter would build a
+/// heap-allocated temporary per call even on the success path. The message
+/// is only materialized when the check actually fails.
+inline void ensure(bool condition, const char* what,
                    std::source_location loc = std::source_location::current()) {
-  if (!condition) {
+  if (!condition) [[unlikely]] {
     throw PreconditionError(std::string(loc.function_name()) + ": " + what);
   }
 }
 
 /// Validate an internal invariant; throws InvariantError on failure.
-inline void invariant(bool condition, const std::string& what,
+inline void invariant(bool condition, const char* what,
                       std::source_location loc = std::source_location::current()) {
-  if (!condition) {
+  if (!condition) [[unlikely]] {
     throw InvariantError(std::string(loc.function_name()) + ": " + what);
   }
 }

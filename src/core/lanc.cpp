@@ -74,6 +74,38 @@ void LancController::hold() {
 
 void LancController::resume() { holding_ = false; }
 
+void LancController::retarget(std::size_t new_relay,
+                              std::size_t new_noncausal_taps,
+                              std::ptrdiff_t advance_shift_samples,
+                              bool outgoing_flagged) {
+  // Fault-aware caching: a link that is flagged right now spent its
+  // detection latency feeding garbage; even the rolled-back snapshot is at
+  // most "last known good", so prefer keeping the relay's previous cache
+  // entry (converged in health) over overwriting it from a faulted exit.
+  if (!outgoing_flagged) {
+    const auto& w = weight_snapshots_.empty() ? engine_.weights()
+                                              : weight_snapshots_.front();
+    cache_.store({relay_, current_profile_}, w);
+  }
+  const auto old_taps =
+      static_cast<std::ptrdiff_t>(engine_.noncausal_taps());
+  const std::ptrdiff_t shift =
+      (old_taps - static_cast<std::ptrdiff_t>(new_noncausal_taps)) +
+      advance_shift_samples;
+  engine_.retarget_noncausal(new_noncausal_taps, shift);
+  if (const auto cached = cache_.load({new_relay, current_profile_});
+      cached && cached->size() == engine_.total_taps()) {
+    engine_.set_weights(*cached);
+  }
+  // Transition state watched the old relay's stream: snapshots would
+  // cache misaligned weights and a pending swap was scheduled against the
+  // old lookahead.
+  weight_snapshots_.clear();
+  recent_ids_.clear();
+  switch_countdown_ = -1;
+  relay_ = new_relay;
+}
+
 void LancController::run_profiler(Sample x_advanced) {
   // Rolling frame of the advanced stream.
   std::rotate(frame_buffer_.begin(), frame_buffer_.begin() + 1,
@@ -135,14 +167,17 @@ void LancController::apply_pending_switch() {
   // weights, which have been adapting toward the new profile throughout
   // the hysteresis window.
   if (!weight_snapshots_.empty()) {
-    cache_.store(current_profile_, weight_snapshots_.front());
+    cache_.store({relay_, current_profile_}, weight_snapshots_.front());
   } else {
-    cache_.store(current_profile_, engine_.weights());
+    cache_.store({relay_, current_profile_}, engine_.weights());
   }
   // ...and restore the incoming profile's filter if we have met it before
-  // (otherwise keep adapting from the current weights: the first encounter
-  // converges by gradient descent, exactly like classic ANC).
-  if (const auto cached = cache_.load(pending_profile_)) {
+  // ON THIS RELAY (otherwise keep adapting from the current weights: the
+  // first encounter converges by gradient descent, exactly like classic
+  // ANC). The length check guards against an entry recorded at a
+  // different lookahead sizing of the same relay.
+  if (const auto cached = cache_.load({relay_, pending_profile_});
+      cached && cached->size() == engine_.total_taps()) {
     engine_.set_weights(*cached);
   }
   // Old-profile snapshots are meaningless for the incoming profile.

@@ -68,6 +68,29 @@ class LancController {
   /// Link is healthy again: re-enable adaptation and ramp the output back.
   void resume();
 
+  /// Warm-standby handoff: re-target the controller to a different relay
+  /// without discarding the converged filter. In order:
+  ///   1. the outgoing relay's pre-transition weights are stored under its
+  ///      (relay, profile) cache key — UNLESS `outgoing_flagged` (weights
+  ///      touched while the link was faulted must never poison the cache);
+  ///   2. the live weights are remapped to the new relay's lookahead
+  ///      window (`FxlmsEngine::retarget_noncausal`; see there for the
+  ///      shift derivation) and the signal history is cleared;
+  ///   3. if the incoming (relay, current profile) pair has a cache entry
+  ///      of matching length, it is preloaded over the remap — the filter
+  ///      last *converged against that relay* beats any remap.
+  /// `advance_shift_samples` is the measured change in relay lead (old
+  /// minus new, in whole samples). Profiler transition state is reset (its
+  /// window watched the old relay's stream). Control-plane: allocates.
+  /// After a retarget the caller must keep tick()ing so the fresh history
+  /// refills; pair with hold()/resume() to mute the refill transient.
+  void retarget(std::size_t new_relay, std::size_t new_noncausal_taps,
+                std::ptrdiff_t advance_shift_samples, bool outgoing_flagged);
+
+  /// The relay index used for filter-cache keying (see retarget()).
+  std::size_t relay() const { return relay_; }
+  void set_relay(std::size_t relay) { relay_ = relay; }
+
   bool holding() const { return holding_; }
 
   /// Number of future taps N (== usable lookahead in samples).
@@ -91,6 +114,9 @@ class LancController {
 
   LancOptions opts_;
   mute::adaptive::FxlmsEngine engine_;
+  // Which relay the engine is currently converged against; the first key
+  // axis of every cache store/load.
+  std::size_t relay_ = 0;
 
   // Profiling state.
   SignatureExtractor extractor_;

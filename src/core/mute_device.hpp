@@ -39,14 +39,30 @@ struct MuteDeviceConfig {
   // Link supervision: one LinkMonitor per relay watches the forwarded
   // reference. When the active relay's link is flagged the device enters
   // kHolding (adaptation frozen, anti-noise faded out); if the link stays
-  // bad past `hold_timeout_s` the association is dropped and the device
-  // re-listens.
+  // bad past `hold_timeout_s` the association is handed to a warm standby
+  // (see `enable_handoff`) or dropped back to kListening.
   bool link_supervision = true;
   LinkMonitorOptions link_monitor{};
   double hold_timeout_s = 1.5;
   // FxLMS divergence guard installed into the LANC engine (see
   // FxlmsOptions::weight_norm_limit); 0 disables.
   double weight_norm_limit = 100.0;
+
+  // Warm-standby failover: keep every confident positive-lookahead relay
+  // from each selection round as a ranked standby list, and on failure
+  // re-target the association to the runner-up (State::kHandoff) instead
+  // of resetting to kListening. Disable to recover the drop-and-relisten
+  // behaviour — bench/failover compares the two policies head to head.
+  bool enable_handoff = true;
+  // Standby measurements stay eligible this long after the round that
+  // produced them. Confident rounds only happen while the ear hears the
+  // full ambient field (kListening / kHolding — during cancellation the
+  // residual is deliberately quiet), so the list is refreshed rarely and
+  // must survive a long active stretch. A generous age only risks a stale
+  // *lookahead estimate*: link health is gated in real time by the
+  // per-relay monitors, and a handoff to a relay whose geometry changed
+  // is corrected by the normal adverse-evidence path afterwards.
+  double standby_max_age_s = 10.0;
 
   std::uint64_t seed = 1;
 };
@@ -65,17 +81,24 @@ struct MuteDeviceConfig {
 ///   kListening    — silent; GCC-PHAT-correlates every relay against the
 ///                   error mic until one offers positive lookahead;
 ///   kRunning      — LANC on the chosen relay; keeps re-running selection
-///                   each period and re-arms if the relay changes or loses
-///                   its lookahead (the paper's "nudge the user" case maps
-///                   to a return to kListening);
+///                   each period and re-arms on sustained adverse evidence
+///                   (two confident rounds of the SAME claim);
 ///   kHolding      — the active relay's link is flagged (dropout, garbage,
 ///                   silence): adaptation frozen, anti-noise faded to zero
 ///                   (never louder than passive). Resumes kRunning if the
-///                   link recovers within `hold_timeout_s`, else drops the
-///                   association and returns to kListening to re-acquire.
+///                   link recovers within `hold_timeout_s`; on timeout the
+///                   association is handed to a warm standby, or dropped
+///                   back to kListening when none qualifies;
+///   kHandoff      — the association was just re-targeted to a standby
+///                   relay: the controller keeps its converged weights
+///                   (remapped to the new lookahead window, preloaded from
+///                   the per-(relay, profile) cache when available) and
+///                   stays held for `total_taps` ticks while the engine
+///                   history refills with the new relay's stream, then
+///                   fades back in and returns to kRunning.
 class MuteDevice {
  public:
-  enum class State { kCalibrating, kListening, kRunning, kHolding };
+  enum class State { kCalibrating, kListening, kRunning, kHolding, kHandoff };
 
   explicit MuteDevice(MuteDeviceConfig config);
 
@@ -101,19 +124,46 @@ class MuteDevice {
   /// Times the device entered kHolding.
   std::size_t hold_count() const { return hold_count_; }
 
+  // --- Failover diagnostics -------------------------------------------
+  /// Times the association was re-targeted via State::kHandoff.
+  std::size_t handoff_count() const { return handoff_count_; }
+  /// Duration of the most recent re-acquisition gap: seconds from leaving
+  /// kRunning to re-entering it (0.0 until the first such round trip).
+  double last_reacquisition_gap_s() const { return last_gap_s_; }
+  /// Seconds each relay has spent as the active kRunning association.
+  double relay_active_s(std::size_t relay) const;
+  /// Current warm-standby ranking (descending lookahead; empty when no
+  /// recent round qualified anyone or the list aged out).
+  std::span<const RelayMeasurement> standby() const { return standby_; }
+
   const MuteDeviceConfig& config() const { return config_; }
 
  private:
+  enum class AdverseCause { kNone, kNoChosen, kRivalWon };
+
+  Sample tick_impl(std::span<const Sample> relay_samples,
+                   Sample error_sample);
   void finish_calibration();
   void handle_selection(const RelaySelection& selection);
+  void update_standby(const RelaySelection& selection);
+  std::optional<RelayMeasurement> pick_standby() const;
+  bool relay_healthy(std::size_t relay) const;
+  void associate(const RelayMeasurement& chosen);
+  void begin_handoff(const RelayMeasurement& target);
+  void drop_association();
+  bool note_adverse_round(AdverseCause cause, std::size_t rival);
+  void reset_adverse();
 
   MuteDeviceConfig config_;
   State state_ = State::kCalibrating;
 
-  // Calibration machinery.
+  // Calibration machinery. `cal_scratch_` is the one-sample render target
+  // for the training source, preallocated so the calibration tick never
+  // heap-allocates (it runs on the audio thread like every other state).
   audio::WhiteNoiseSource training_;
   Signal stimulus_log_;
   Signal response_log_;
+  Signal cal_scratch_;
   Sample last_training_sample_ = 0.0f;
   adaptive::SysIdResult calibration_{};
 
@@ -121,8 +171,14 @@ class MuteDevice {
   RelaySelector selector_;
   std::optional<std::size_t> active_relay_;
   double lookahead_s_ = 0.0;
+  // Relay lead (seconds) the CURRENT engine weights converged at. Unlike
+  // lookahead_s_ it survives drop_association(), because the weights do
+  // too — a later warm re-association needs it to compute the remap shift.
+  double weights_lookahead_s_ = 0.0;
 
-  // The running controller (created once a relay is chosen).
+  // The running controller. Created at the first association and kept for
+  // the life of the device afterwards: it owns the per-(relay, profile)
+  // filter cache that makes re-association and handoff warm.
   std::optional<LancController> lanc_;
 
   // Link supervision (empty when disabled). `sanitized_` is the per-tick
@@ -134,11 +190,32 @@ class MuteDevice {
   std::size_t hold_elapsed_ = 0;
   std::size_t hold_count_ = 0;
 
+  // Warm-standby state (tentpole). The list is the `ranked` output of the
+  // last selection round that qualified anyone; it ages out after
+  // standby_max_age_samples_ ticks. `handoff_settle_` counts the held
+  // ticks remaining before a handoff fades back in.
+  std::vector<RelayMeasurement> standby_;
+  std::size_t standby_age_ = 0;
+  std::size_t standby_max_age_samples_ = 0;
+  std::size_t handoff_settle_ = 0;
+
   // Re-selection hysteresis: while cancellation is active the error mic is
   // (by design!) quiet, so GCC-PHAT rounds lose confidence or mis-peak.
   // A low-confidence round is treated as evidence that cancellation works;
-  // only two consecutive confident adverse rounds change the association.
+  // only two consecutive confident rounds making the SAME adverse claim
+  // (same cause — and for kRivalWon, the same rival) change the
+  // association. Pooling different claims in one counter let a "nobody
+  // qualified" round plus a "relay B won" round evict a healthy relay.
+  AdverseCause adverse_cause_ = AdverseCause::kNone;
+  std::size_t adverse_rival_ = 0;
   std::size_t adverse_rounds_ = 0;
+
+  // Diagnostics (maintained by the tick() wrapper, allocation-free).
+  std::size_t handoff_count_ = 0;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t gap_start_tick_ = 0;
+  double last_gap_s_ = 0.0;
+  std::vector<std::uint64_t> relay_active_ticks_;
 };
 
 }  // namespace mute::core

@@ -25,7 +25,10 @@ double ProfileSignature::distance(const ProfileSignature& other) const {
 SignatureExtractor::SignatureExtractor(double sample_rate,
                                        std::size_t fft_size,
                                        std::size_t bands)
-    : fs_(sample_rate), fft_size_(fft_size) {
+    : fs_(sample_rate),
+      fft_size_(fft_size),
+      window_(mute::dsp::make_window(mute::dsp::WindowType::kHann, fft_size)),
+      buf_(fft_size) {
   ensure(sample_rate > 0, "sample rate must be positive");
   ensure(is_pow2(fft_size), "fft size must be a power of two");
   ensure(bands >= 2, "need >= 2 bands");
@@ -42,27 +45,34 @@ SignatureExtractor::SignatureExtractor(double sample_rate,
   }
 }
 
-ProfileSignature SignatureExtractor::extract(
-    std::span<const Sample> frame) const {
+ProfileSignature SignatureExtractor::extract(std::span<const Sample> frame) {
   ensure(frame.size() >= fft_size_, "frame shorter than FFT size");
-  const auto w = mute::dsp::make_window(mute::dsp::WindowType::kHann,
-                                        fft_size_);
-  ComplexSignal buf(fft_size_);
-  // Use the most recent fft_size_ samples of the frame.
+  // Use the most recent fft_size_ samples of the frame. The Hann window
+  // and the FFT workspace are built once in the constructor — this runs
+  // every profiler frame, and rebuilding both per call burned an
+  // allocation plus a transcendental fill on the hot path.
   const std::size_t off = frame.size() - fft_size_;
   for (std::size_t i = 0; i < fft_size_; ++i) {
-    buf[i] = Complex(w[i] * static_cast<double>(frame[off + i]), 0.0);
+    buf_[i] = Complex(window_[i] * static_cast<double>(frame[off + i]), 0.0);
   }
-  mute::dsp::fft_inplace(buf);
+  mute::dsp::fft_inplace(buf_);
 
   ProfileSignature sig;
   sig.band_fraction.assign(bands_.size(), 0.0);
   double total = 0.0;
   for (std::size_t k = 0; k <= fft_size_ / 2; ++k) {
     const double f = mute::dsp::bin_frequency(k, fft_size_, fs_);
-    const double p = std::norm(buf[k]);
+    const double p = std::norm(buf_[k]);
     for (std::size_t b = 0; b < bands_.size(); ++b) {
-      if (f >= bands_[b].first && f < bands_[b].second) {
+      // Bands are half-open [f0, f1) except the last, which closes at
+      // Nyquist: with every edge half-open the fs/2 bin satisfied no
+      // band's `f < f1`, so content near Nyquist silently vanished from
+      // the fractions and they stopped summing to 1.
+      const bool in_band =
+          f >= bands_[b].first &&
+          (f < bands_[b].second ||
+           (b + 1 == bands_.size() && f <= bands_[b].second));
+      if (in_band) {
         sig.band_fraction[b] += p;
         break;
       }

@@ -30,13 +30,18 @@ class SignatureExtractor {
   SignatureExtractor(double sample_rate, std::size_t fft_size = 256,
                      std::size_t bands = 8);
 
-  ProfileSignature extract(std::span<const Sample> frame) const;
+  /// Non-const: reuses the preallocated window/FFT workspace (extraction
+  /// runs once per profiler frame; rebuilding them per call was measurable
+  /// on the hot path).
+  ProfileSignature extract(std::span<const Sample> frame);
 
   std::size_t fft_size() const { return fft_size_; }
 
  private:
   double fs_;
   std::size_t fft_size_;
+  std::vector<double> window_;  // Hann, built once
+  ComplexSignal buf_;           // FFT workspace, reused every frame
   std::vector<std::pair<double, double>> bands_;
 };
 

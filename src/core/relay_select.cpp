@@ -24,14 +24,21 @@ RelaySelection select_relay(std::span<const Signal> relay_streams,
     m.confidence = g.peak_value;
     out.all.push_back(m);
   }
-  // Pick the largest positive lookahead among confident measurements.
-  const RelayMeasurement* best = nullptr;
+  // Rank every confident, positive-lookahead candidate (descending
+  // lookahead); the winner is the head, the rest are warm standbys.
   for (const auto& m : out.all) {
     if (m.confidence < options.min_confidence) continue;
     if (m.lookahead_s < options.min_lookahead_s) continue;
-    if (best == nullptr || m.lookahead_s > best->lookahead_s) best = &m;
+    out.ranked.push_back(m);
   }
-  if (best != nullptr) out.chosen = *best;
+  std::sort(out.ranked.begin(), out.ranked.end(),
+            [](const RelayMeasurement& a, const RelayMeasurement& b) {
+              if (a.lookahead_s != b.lookahead_s) {
+                return a.lookahead_s > b.lookahead_s;
+              }
+              return a.relay_index < b.relay_index;  // deterministic ties
+            });
+  if (!out.ranked.empty()) out.chosen = out.ranked.front();
   return out;
 }
 

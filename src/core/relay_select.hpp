@@ -25,6 +25,11 @@ struct RelaySelection {
   /// client must fall back to no cancellation and nudge the user.
   std::optional<RelayMeasurement> chosen;
   std::vector<RelayMeasurement> all;
+  /// Warm-standby ranking: every confident, positive-lookahead relay in
+  /// descending lookahead order (`ranked.front() == *chosen` when any
+  /// qualify). The device keeps this list so a failed association can be
+  /// handed to the runner-up instead of re-listening for a full period.
+  std::vector<RelayMeasurement> ranked;
 };
 
 /// Options for the periodic relay-selection correlation (Section 4.2).

@@ -124,17 +124,8 @@ const char* fault_scenario_name(FaultScenario scenario) {
   return "?";
 }
 
-void apply_fault_scenario(SystemConfig& cfg, FaultScenario scenario,
-                          double start_s, double duration_s) {
-  if (scenario == FaultScenario::kNone) return;
-  // Faults only exist on the wireless chain; force it on so a Bose-style
-  // config passed here fails loudly in the link instead of silently
-  // running fault-free.
-  cfg.wireless_reference = true;
-  cfg.use_rf_link = true;
-  cfg.link_supervision = true;
-  if (cfg.weight_norm_limit <= 0.0) cfg.weight_norm_limit = 50.0;
-
+rf::FaultSchedule make_fault_schedule(FaultScenario scenario, double start_s,
+                                      double duration_s) {
   rf::FaultSchedule faults;
   switch (scenario) {
     case FaultScenario::kNone:
@@ -162,7 +153,20 @@ void apply_fault_scenario(SystemConfig& cfg, FaultScenario scenario,
       faults.clock_drift(start_s, duration_s, /*ppm=*/80.0);
       break;
   }
-  cfg.rf.faults = faults;
+  return faults;
+}
+
+void apply_fault_scenario(SystemConfig& cfg, FaultScenario scenario,
+                          double start_s, double duration_s) {
+  if (scenario == FaultScenario::kNone) return;
+  // Faults only exist on the wireless chain; force it on so a Bose-style
+  // config passed here fails loudly in the link instead of silently
+  // running fault-free.
+  cfg.wireless_reference = true;
+  cfg.use_rf_link = true;
+  cfg.link_supervision = true;
+  if (cfg.weight_norm_limit <= 0.0) cfg.weight_norm_limit = 50.0;
+  cfg.rf.faults = make_fault_schedule(scenario, start_s, duration_s);
 }
 
 }  // namespace mute::sim

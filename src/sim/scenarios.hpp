@@ -55,6 +55,15 @@ enum class FaultScenario {
 
 const char* fault_scenario_name(FaultScenario scenario);
 
+/// Build the scripted fault schedule for `scenario` over
+/// [start_s, start_s + duration_s). kNone yields an empty schedule. The
+/// single source of the canned fault parameters — used by
+/// apply_fault_scenario for the single-link sim and by DeviceSimConfig
+/// callers (bench/failover, integration tests) to fault one relay of a
+/// multi-relay deployment.
+rf::FaultSchedule make_fault_schedule(FaultScenario scenario, double start_s,
+                                      double duration_s);
+
 /// Install `scenario` into `cfg`: forces the RF link on, scripts the fault
 /// over [start_s, start_s + duration_s), and arms the degradation stack
 /// (link supervision + FxLMS weight-norm guard). kNone leaves `cfg`

@@ -405,4 +405,131 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
   return result;
 }
 
+SystemResult run_device_simulation(audio::SoundSource& noise,
+                                   const DeviceSimConfig& config) {
+  const double fs = config.scene.sample_rate;
+  ensure(fs > 0, "scene sample rate must be positive");
+  const auto n = static_cast<std::size_t>(config.duration_s * fs);
+  ensure(n > 4096, "run too short");
+
+  std::vector<acoustics::Point> relays = config.relay_positions;
+  if (relays.empty()) relays.push_back(config.scene.relay_mic);
+  const std::size_t relay_count = relays.size();
+
+  // --- 1. Noise record with a quiet power-up lead-in -------------------
+  // The device calibrates its secondary path right after power-up; mute
+  // the ambient until then (plus margin), like the offline sim's
+  // quiet-room calibration phase.
+  noise.reset();
+  Signal n_sig = noise.generate(n);
+  const auto quiet = std::min<std::size_t>(
+      n, static_cast<std::size_t>((config.device.calibration_s + 0.1) * fs));
+  std::fill(n_sig.begin(),
+            n_sig.begin() + static_cast<std::ptrdiff_t>(quiet), 0.0f);
+
+  // --- 2. Acoustic paths: ear + one per relay --------------------------
+  const auto h_ne =
+      acoustics::build_path(config.scene, config.scene.noise_source,
+                            config.scene.error_mic, "h_ne");
+  const auto h_se =
+      acoustics::build_path(config.scene, config.scene.anti_speaker,
+                            config.scene.error_mic, "h_se");
+  Signal d_ac = h_ne.apply(n_sig);
+  std::vector<Signal> x(relay_count);
+  for (std::size_t k = 0; k < relay_count; ++k) {
+    const auto h_nr = acoustics::build_path(
+        config.scene, config.scene.noise_source, relays[k], "h_nr_k");
+    x[k] = h_nr.apply(n_sig);
+  }
+
+  // Normalize the ambient level at the ear over the LOUD region (the
+  // quiet lead-in would bias a whole-record RMS).
+  const auto loud_rms = [&](const Signal& s) {
+    double acc = 0.0;
+    for (std::size_t i = quiet; i < n; ++i) {
+      acc += static_cast<double>(s[i]) * static_cast<double>(s[i]);
+    }
+    return n > quiet ? std::sqrt(acc / static_cast<double>(n - quiet)) : 0.0;
+  };
+  const auto scale_to = [&](Signal& s, double target_rms) {
+    const double g = target_rms / std::max(loud_rms(s), 1e-9);
+    for (auto& v : s) v = static_cast<Sample>(static_cast<double>(v) * g);
+  };
+  scale_to(d_ac, config.disturbance_rms);
+  // Relay input gain staging, exactly as in the single-link sim: each
+  // transmitter's trimmer/AGC drives the FM chain at its nominal 0.1 rms
+  // (the level the LinkMonitor thresholds are tuned against — an
+  // unstaged relay parked next to the source would be loud enough to
+  // bury the carrier-loss noise signature). GCC-PHAT and NLMS are
+  // scale-invariant in x, so no downstream compensation is needed.
+  for (auto& xs : x) scale_to(xs, 0.1);
+
+  // --- 3. Per-relay RF chains (each with its own fault script) ---------
+  if (config.use_rf_link) {
+    for (std::size_t k = 0; k < relay_count; ++k) {
+      rf::RelayConfig rf_cfg = config.rf;
+      rf_cfg.audio_rate = fs;
+      if (k < config.relay_faults.size()) {
+        rf_cfg.faults = config.relay_faults[k];
+      }
+      rf::RelayLink link(rf_cfg, config.seed + 100 + k);
+      x[k] = link.process(x[k]);
+    }
+  }
+
+  // --- 4. Anti-noise plant (latency budget inside, as in the offline
+  //        sim) and the device itself --------------------------------
+  core::MuteDeviceConfig dev_cfg = config.device;
+  dev_cfg.sample_rate = fs;
+  dev_cfg.relay_count = relay_count;
+  core::MuteDevice device(dev_cfg);
+  const auto hse_eff = effective_secondary_ir(
+      h_se.impulse_response(), dev_cfg.latency.total_s() * fs);
+  mute::dsp::FirFilter hse_stream(hse_eff);
+
+  // --- 5. Streaming loop -----------------------------------------------
+  SystemResult result;
+  result.sample_rate = fs;
+  result.disturbance = d_ac;
+  result.residual.resize(n);
+  result.anti_at_ear.resize(n);
+  Signal feed(relay_count, 0.0f);
+  Sample error = 0.0f;  // device consumes the PREVIOUS tick's ear field
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t k = 0; k < relay_count; ++k) feed[k] = x[k][t];
+    const Sample y = device.tick(feed, error);
+    const Sample anti = hse_stream.process(y);
+    const Sample at_ear =
+        static_cast<Sample>(static_cast<double>(d_ac[t]) +
+                            static_cast<double>(anti));
+    error = at_ear;
+    result.residual[t] = at_ear;
+    result.anti_at_ear[t] = anti;
+  }
+  result.ambient_at_ear = std::move(d_ac);
+
+  // --- 6. Diagnostics ---------------------------------------------------
+  result.noncausal_taps = device.noncausal_taps();
+  result.calibration_error_db = device.calibration().final_error_db;
+  result.handoff_count = device.handoff_count();
+  result.device_hold_count = device.hold_count();
+  result.reacquisition_gap_s = device.last_reacquisition_gap_s();
+  result.relay_active_s.resize(relay_count);
+  for (std::size_t k = 0; k < relay_count; ++k) {
+    result.relay_active_s[k] = device.relay_active_s(k);
+    if (const auto* monitor = device.link_monitor(k)) {
+      result.link_fault_samples += monitor->unhealthy_samples();
+      result.link_fault_episodes += monitor->fault_episodes();
+      if (monitor->unhealthy_samples() > 0) {
+        result.link_fault_flags |= monitor->flags();
+      }
+    }
+  }
+  if (device.measured_lookahead_s() > 0.0) {
+    result.usable_lookahead_s = core::usable_lookahead_s(
+        device.measured_lookahead_s(), dev_cfg.latency);
+  }
+  return result;
+}
+
 }  // namespace mute::sim

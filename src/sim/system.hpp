@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "acoustics/environment.hpp"
 #include "audio/source.hpp"
 #include "core/lanc.hpp"
 #include "core/link_monitor.hpp"
+#include "core/mute_device.hpp"
 #include "core/timing.hpp"
 #include "rf/relay.hpp"
 #include "sim/passive.hpp"
@@ -169,6 +171,13 @@ struct SystemResult {
   double last_recovery_s = -1.0;        // end of the last flag (-1: none)
   unsigned link_fault_flags = 0;        // LinkFlags bitmask union
   std::size_t weight_rollbacks = 0;     // divergence-guard firings
+
+  // Failover diagnostics (populated by run_device_simulation; the
+  // single-link run_anc_simulation has no device state machine).
+  std::size_t handoff_count = 0;        // kHandoff re-targets
+  std::size_t device_hold_count = 0;    // kHolding entries
+  double reacquisition_gap_s = 0.0;     // last out-of-kRunning gap
+  std::vector<double> relay_active_s;   // kRunning seconds per relay
 };
 
 /// Run a complete ANC simulation: synthesize room channels, calibrate the
@@ -179,5 +188,47 @@ struct SystemResult {
 SystemResult run_anc_simulation(audio::SoundSource& noise,
                                 const SystemConfig& config,
                                 audio::SoundSource* second_noise = nullptr);
+
+/// Configuration of a multi-relay *device-level* simulation: unlike
+/// run_anc_simulation (which streams one prepared reference into a bare
+/// LancController), this drives the full MuteDevice state machine —
+/// power-up calibration, GCC-PHAT association, link supervision, warm
+/// standby failover — with one acoustic path and one (optional) RF chain
+/// per relay. Built for failover experiments: fault the active relay and
+/// observe the handoff.
+struct DeviceSimConfig {
+  acoustics::Scene scene = acoustics::Scene::paper_office();
+  /// One reference-microphone position per relay; empty means the scene's
+  /// single `relay_mic`. `device.relay_count` is overridden to match.
+  std::vector<acoustics::Point> relay_positions;
+  double duration_s = 10.0;
+  std::uint64_t seed = 1;
+  /// Disturbance RMS at the ear once the ambient starts. The ambient is
+  /// muted through the device's power-up calibration (plus 0.1 s of
+  /// margin), like the quiet-room calibration of the offline sim.
+  double disturbance_rms = 0.1;
+
+  /// Push every relay's reference through its own FM chain. Required for
+  /// the scripted fault scenarios (faults live in the RF layer).
+  bool use_rf_link = true;
+  rf::RelayConfig rf{};
+  /// Per-relay scripted faults; index k applies to relay k (missing
+  /// entries mean a benign link). See sim::make_fault_schedule.
+  std::vector<rf::FaultSchedule> relay_faults;
+
+  /// Device configuration. `sample_rate` and `relay_count` are overridden
+  /// from the scene and `relay_positions`.
+  core::MuteDeviceConfig device{};
+};
+
+/// Run the device-level simulation. In the result, `disturbance` and
+/// `residual` are the ear field without/with the device (the residual
+/// includes the calibration tone and every state transition — it is the
+/// honest account of what the ear hears across the device lifecycle);
+/// `reference` is left empty (each relay has its own stream). Failover
+/// diagnostics (handoff_count, reacquisition_gap_s, relay_active_s,
+/// device_hold_count) and the per-relay link-fault tallies are populated.
+SystemResult run_device_simulation(audio::SoundSource& noise,
+                                   const DeviceSimConfig& config);
 
 }  // namespace mute::sim

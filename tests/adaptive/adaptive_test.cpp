@@ -181,6 +181,41 @@ TEST(Fxlms, SecondaryPathSwapWorks) {
   EXPECT_THROW(eng.set_secondary_path({}), PreconditionError);
 }
 
+TEST(Fxlms, RetargetRemapsWeightsToTheNewWindow) {
+  // Shrinking the non-causal window with a positive shift keeps the
+  // causal tail intact: w_new[i] = w_old[i + shift]. Layout is
+  // noncausal-first, so dropping two lookahead taps with shift = 2
+  // discards exactly the two most-advanced weights.
+  FxlmsOptions opt;
+  opt.causal_taps = 3;
+  opt.noncausal_taps = 4;
+  FxlmsEngine eng({1.0}, opt);
+  std::vector<double> w = {0, 1, 2, 3, 4, 5, 6};
+  eng.set_weights(w);
+  eng.retarget_noncausal(2, 2);
+  EXPECT_EQ(eng.noncausal_taps(), 2u);
+  EXPECT_EQ(eng.total_taps(), 5u);
+  const std::vector<double> expect = {2, 3, 4, 5, 6};
+  EXPECT_EQ(eng.weights(), expect);
+}
+
+TEST(Fxlms, RetargetGrowsWindowWithZeroFill) {
+  // Growing the window with a negative shift leaves the old weights at
+  // their same absolute time offsets and zero-fills the newly available
+  // lookahead taps (out-of-range source indices read as silence).
+  FxlmsOptions opt;
+  opt.causal_taps = 2;
+  opt.noncausal_taps = 2;
+  FxlmsEngine eng({1.0}, opt);
+  std::vector<double> w = {1, 2, 3, 4};
+  eng.set_weights(w);
+  eng.retarget_noncausal(4, -2);
+  EXPECT_EQ(eng.noncausal_taps(), 4u);
+  EXPECT_EQ(eng.total_taps(), 6u);
+  const std::vector<double> expect = {0, 0, 1, 2, 3, 4};
+  EXPECT_EQ(eng.weights(), expect);
+}
+
 TEST(Wiener, BoundIsTightForNoiselessLti) {
   Rng rng(13);
   Signal x(64000);

@@ -124,6 +124,40 @@ TEST(Profile, ExtractorSeparatesToneBands) {
   EXPECT_GT(sig_low.distance(sig_high), 0.5);
 }
 
+TEST(Profile, NyquistEnergyCountsTowardTheLastBand) {
+  // Regression: band edges are half-open [f0, f1), so the exact-Nyquist
+  // bin (f == fs/2 == the last band's upper edge) satisfied no band's
+  // `f < f1` and its power silently vanished from the fractions — which
+  // are normalized by TOTAL bin power, so a near-Nyquist source summed
+  // to far below 1. The last band closes at Nyquist now.
+  SignatureExtractor ex(kFs, 256, 8);
+  Signal frame(256);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = (i % 2 == 0) ? 0.5f : -0.5f;  // cos(pi*n): the Nyquist tone
+  }
+  const auto sig = ex.extract(frame);
+  double sum = 0.0;
+  for (const double v : sig.band_fraction) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(sig.band_fraction.back(), 0.9);
+}
+
+TEST(Profile, ExtractorWorkspaceReuseIsStateless) {
+  // The window/FFT workspace is built once and reused every call; a
+  // frame's signature must not depend on what was extracted before it.
+  SignatureExtractor ex(kFs, 256, 8);
+  audio::ToneSource low(300.0, 0.5, kFs), high(3500.0, 0.5, kFs);
+  const auto lo_frame = low.generate(256);
+  const auto first = ex.extract(lo_frame);
+  ex.extract(high.generate(256));
+  const auto again = ex.extract(lo_frame);
+  ASSERT_EQ(first.band_fraction.size(), again.band_fraction.size());
+  for (std::size_t b = 0; b < first.band_fraction.size(); ++b) {
+    EXPECT_DOUBLE_EQ(first.band_fraction[b], again.band_fraction[b]);
+  }
+  EXPECT_DOUBLE_EQ(first.level_db, again.level_db);
+}
+
 TEST(Profile, ClassifierAssignsSilenceToProfileZero) {
   ProfileClassifier pc;
   ProfileSignature quiet{{0.1, 0.9}, -80.0};
@@ -159,19 +193,79 @@ TEST(Profile, ClassifierBoundedBySlotLimit) {
 TEST(FilterCache, StoreLoadRoundTrip) {
   FilterCache cache;
   const std::vector<double> w = {1.0, 2.0, 3.0};
-  cache.store(5, w);
-  ASSERT_TRUE(cache.contains(5));
-  const auto loaded = cache.load(5);
+  cache.store({0, 5}, w);
+  ASSERT_TRUE(cache.contains({0, 5}));
+  const auto loaded = cache.load({0, 5});
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ((*loaded)[2], 3.0);
-  EXPECT_FALSE(cache.load(6).has_value());
+  EXPECT_FALSE(cache.load({0, 6}).has_value());
 }
 
 TEST(FilterCache, OverwriteReplaces) {
   FilterCache cache;
-  cache.store(1, std::vector<double>{1.0});
-  cache.store(1, std::vector<double>{9.0, 9.0});
-  EXPECT_EQ(cache.load(1)->size(), 2u);
+  cache.store({2, 1}, std::vector<double>{1.0});
+  cache.store({2, 1}, std::vector<double>{9.0, 9.0});
+  EXPECT_EQ(cache.load({2, 1})->size(), 2u);
+}
+
+TEST(FilterCache, RelayAxisKeepsEntriesSeparate) {
+  // The same profile id converged against two different relays must hit
+  // two different entries — loading relay 0's filter for relay 2 would
+  // replay the wrong alignment (the whole point of the composite key).
+  FilterCache cache;
+  cache.store({0, 3}, std::vector<double>{1.0, 0.0});
+  cache.store({2, 3}, std::vector<double>{0.0, 1.0});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ((*cache.load({0, 3}))[0], 1.0);
+  EXPECT_EQ((*cache.load({2, 3}))[1], 1.0);
+  // And the axes must not commute: (relay=3, profile=0) is not (0, 3).
+  EXPECT_FALSE(cache.contains({3, 0}));
+}
+
+TEST(FilterCache, EraseRelayDropsAllItsProfiles) {
+  FilterCache cache;
+  cache.store({1, 0}, std::vector<double>{1.0});
+  cache.store({1, 4}, std::vector<double>{2.0});
+  cache.store({2, 0}, std::vector<double>{3.0});
+  EXPECT_EQ(cache.erase_relay(1), 2u);
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_FALSE(cache.contains({1, 4}));
+  ASSERT_TRUE(cache.contains({2, 0}));
+  EXPECT_EQ((*cache.load({2, 0}))[0], 3.0);
+}
+
+TEST(FilterCache, LoadedSpanSurvivesOtherKeyInserts) {
+  // Lifetime contract (see FilterCache): a loaded span must stay valid
+  // across store() calls for OTHER keys, even across the rehash that the
+  // inserts force — unordered_map nodes never move, and the vector's heap
+  // buffer moves with its node.
+  FilterCache cache;
+  const std::vector<double> w = {4.0, 5.0, 6.0};
+  cache.store({0, 0}, w);
+  const auto span = cache.load({0, 0});
+  ASSERT_TRUE(span.has_value());
+  const double* data_before = span->data();
+  for (std::size_t k = 1; k < 200; ++k) {
+    cache.store({k, k}, w);  // enough inserts to rehash several times
+  }
+  EXPECT_EQ(span->data(), data_before);
+  EXPECT_EQ((*span)[0], 4.0);
+  EXPECT_EQ((*span)[2], 6.0);
+}
+
+TEST(FilterCache, SameKeyOverwriteIsTheInvalidationHazard) {
+  // The flip side of the contract: a same-key store() may grow the mapped
+  // vector's buffer, so the old span is dead. Callers must reload — pin
+  // the documented behaviour by checking the reloaded span sees the new
+  // payload (dereferencing the stale span would be UB, so we don't).
+  FilterCache cache;
+  cache.store({0, 0}, std::vector<double>{1.0});
+  ASSERT_TRUE(cache.load({0, 0}).has_value());
+  cache.store({0, 0}, std::vector<double>{7.0, 8.0, 9.0, 10.0});
+  const auto reloaded = cache.load({0, 0});
+  ASSERT_TRUE(reloaded.has_value());
+  ASSERT_EQ(reloaded->size(), 4u);
+  EXPECT_EQ((*reloaded)[3], 10.0);
 }
 
 // ----------------------------------------------------------- selection
@@ -381,6 +475,57 @@ TEST(Lanc, CachedFiltersBeatReconvergenceOnAlternatingSources) {
   const double on_db = run_variant(true);
   EXPECT_LT(on_db, off_db - 2.0)
       << "profiling ON " << on_db << " dB vs OFF " << off_db << " dB";
+}
+
+TEST(Lanc, RetargetStoresOutgoingAndPreloadsCachedWeights) {
+  // Handoff caching round trip: leaving a healthy relay stores its
+  // converged weights under (relay, profile); arriving at a relay whose
+  // key is cached preloads those weights over the remapped ones.
+  LancOptions opts;
+  opts.fxlms.causal_taps = 4;
+  opts.fxlms.noncausal_taps = 4;
+  opts.profiling = false;  // pin profile id 0 so keys differ by relay only
+  LancController lanc({1.0}, opts);
+
+  const std::vector<double> w0 = {1, 2, 3, 4, 5, 6, 7, 8};
+  lanc.engine().set_weights(w0);
+  lanc.retarget(1, 4, 0, /*outgoing_flagged=*/false);  // stores w0 @ (0,0)
+  EXPECT_EQ(lanc.relay(), 1u);
+  EXPECT_EQ(lanc.engine().weights(), w0);  // identity remap, no (1,0) entry
+
+  const std::vector<double> w1 = {8, 7, 6, 5, 4, 3, 2, 1};
+  lanc.engine().set_weights(w1);
+  lanc.retarget(0, 4, 0, /*outgoing_flagged=*/false);  // stores w1 @ (1,0)
+  EXPECT_EQ(lanc.relay(), 0u);
+  EXPECT_EQ(lanc.engine().weights(), w0)
+      << "cached (0,0) weights must beat the remapped carry-over";
+
+  lanc.retarget(1, 4, 0, /*outgoing_flagged=*/false);
+  EXPECT_EQ(lanc.engine().weights(), w1);
+}
+
+TEST(Lanc, RetargetNeverCachesAFlaggedLink) {
+  // Fault-aware caching: weights adapted on a flagged (faulted) link are
+  // garbage and must not overwrite the relay's last healthy cache entry.
+  LancOptions opts;
+  opts.fxlms.causal_taps = 4;
+  opts.fxlms.noncausal_taps = 4;
+  opts.profiling = false;
+  LancController lanc({1.0}, opts);
+
+  const std::vector<double> w0 = {1, 2, 3, 4, 5, 6, 7, 8};
+  lanc.engine().set_weights(w0);
+  lanc.retarget(1, 4, 0, /*outgoing_flagged=*/false);  // stores w0 @ (0,0)
+
+  const std::vector<double> garbage(8, 100.0);
+  lanc.engine().set_weights(garbage);
+  lanc.retarget(0, 4, 0, /*outgoing_flagged=*/true);  // must NOT store (1,0)
+  EXPECT_EQ(lanc.engine().weights(), w0) << "healthy (0,0) entry preloads";
+
+  // Coming back to relay 1: no cache entry may exist, so the weights ride
+  // along unchanged — the garbage never resurfaces from the cache.
+  lanc.retarget(1, 4, 0, /*outgoing_flagged=*/false);
+  EXPECT_EQ(lanc.engine().weights(), w0);
 }
 
 }  // namespace

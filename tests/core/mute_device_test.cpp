@@ -3,11 +3,15 @@
 // against a physically synthesized world (channels from the image-source
 // room model).
 #include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "acoustics/environment.hpp"
 #include "audio/generators.hpp"
+#include "common/contracts.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
 #include "core/mute_device.hpp"
@@ -243,6 +247,186 @@ TEST(MuteDevice, RejectsWrongRelayCount) {
   MuteDevice device(quick_config(2));
   Signal wrong(1, 0.0f);
   EXPECT_THROW(device.tick(wrong, 0.0f), PreconditionError);
+}
+
+TEST(MuteDevice, HandsOffToWarmStandbyOnRelayDeath) {
+  // Two relays with positive lookahead (advances 40 and 12). Kill the
+  // active relay's feed for good: the device must hold, then hand the
+  // association to the standby through kHandoff — never touching
+  // kListening — and keep cancelling on relay 1.
+  World world(2);
+  auto cfg = quick_config(2);
+  cfg.hold_timeout_s = 0.3;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(2);
+  const int kDrop = 30000;
+  bool saw_handoff = false, listened_after_drop = false;
+  for (int t = 0; t < 60000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    if (t >= kDrop) relay_feed[0] = 0.0f;  // relay 0's battery dies
+    if (t == kDrop) {
+      ASSERT_EQ(device.state(), MuteDevice::State::kRunning);
+      ASSERT_EQ(*device.active_relay(), 0u);
+    }
+    if (t > kDrop) {
+      if (device.state() == MuteDevice::State::kHandoff) saw_handoff = true;
+      if (device.state() == MuteDevice::State::kListening) {
+        listened_after_drop = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_handoff);
+  EXPECT_FALSE(listened_after_drop)
+      << "warm standby existed; re-listening defeats the handoff path";
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 1u);
+  EXPECT_GE(device.handoff_count(), 1u);
+  EXPECT_GE(device.hold_count(), 1u);
+  // Gap = detection + hold timeout + settle; a kListening round trip
+  // would add at least a full selection period on top.
+  EXPECT_GT(device.last_reacquisition_gap_s(), 0.0);
+  EXPECT_LT(device.last_reacquisition_gap_s(), 0.48);
+  EXPECT_GT(device.relay_active_s(0), 1.0);
+  EXPECT_GT(device.relay_active_s(1), 0.5);
+}
+
+/// World variant whose relay advances may be NEGATIVE (relay hears the
+/// source after the ear — confidently useless lookahead). Used to script
+/// specific selection-round outcomes for the adverse-evidence tests.
+struct AdvWorld {
+  explicit AdvWorld(std::vector<int> advances)
+      : noise(0.2, 7), h_se({0.0, 0.9, 0.2}), relay_advance(advances) {}
+
+  Sample step(Sample speaker_out, std::span<Sample> relay_feed) {
+    Signal one(1);
+    noise.render(one);
+    if (history.size() < 9600) one[0] = 0.0f;
+    history.push_back(one[0]);
+    const auto t = static_cast<std::ptrdiff_t>(history.size()) - 1;
+    const Sample ambient =
+        (t >= 60) ? history[static_cast<std::size_t>(t - 60)] : 0.0f;
+    const Sample anti = h_se.process(speaker_out);
+    for (std::size_t k = 0; k < relay_feed.size(); ++k) {
+      const std::ptrdiff_t lag = 60 - relay_advance[k];
+      relay_feed[k] =
+          (t >= lag) ? history[static_cast<std::size_t>(t - lag)] : 0.0f;
+    }
+    return static_cast<Sample>(static_cast<double>(ambient) +
+                               static_cast<double>(anti));
+  }
+
+  audio::WhiteNoiseSource noise;
+  mute::dsp::FirFilter h_se;
+  std::vector<int> relay_advance;
+  Signal history;
+};
+
+TEST(MuteDevice, AdverseEvidenceCausesDoNotPool) {
+  // Regression for the pooled adverse counter: one confident "nobody
+  // qualified" round followed by one confident "relay 1 won" round are
+  // two DIFFERENT one-round claims and must NOT re-associate; two
+  // consecutive "relay 1 won" rounds must. The step size is ~zero so
+  // cancellation never bites and every selection round stays confident.
+  AdvWorld world({40, 12});
+  auto cfg = quick_config(2);
+  cfg.enable_handoff = false;  // cold path keeps the scenario minimal
+  cfg.lanc.fxlms.mu = 1e-9;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(2);
+
+  // Calibration ends at tick ~8000; selector pushes start the tick after,
+  // so selection rounds complete every 8000 ticks from t_listen on.
+  int t_listen = -1;
+  int t = 0;
+  for (; t < 20000 && t_listen < 0; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    if (device.state() != MuteDevice::State::kCalibrating) t_listen = t;
+  }
+  ASSERT_GT(t_listen, 0);
+  const auto run_round = [&](int rounds_end) {
+    const int until = t_listen + rounds_end * 8000 + 100;
+    for (; t < until; ++t) {
+      speaker = device.tick(relay_feed, error);
+      error = world.step(speaker, relay_feed);
+    }
+  };
+
+  // Rounds 1-2: both relays lead; relay 0 wins and is associated.
+  run_round(2);
+  ASSERT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_EQ(*device.active_relay(), 0u);
+
+  // Round 3: both relays now LAG the ear -> confident "nobody qualified".
+  world.relay_advance = {-20, -5};
+  run_round(3);
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  EXPECT_EQ(*device.active_relay(), 0u);
+
+  // Round 4: relay 1 leads again and wins the round. Under the pooled
+  // counter this was adverse round #2 -> eviction; cause-separated
+  // evidence restarts the count instead.
+  world.relay_advance = {-20, 12};
+  run_round(4);
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  EXPECT_EQ(*device.active_relay(), 0u)
+      << "a no-chosen round plus a rival round must not pool to eviction";
+
+  // Round 5: relay 1 wins AGAIN - two consecutive same-claim rounds now;
+  // the association moves.
+  run_round(5);
+  ASSERT_TRUE(device.active_relay().has_value());
+  EXPECT_EQ(*device.active_relay(), 1u)
+      << "two consecutive rival wins are legitimate eviction evidence";
+}
+
+TEST(MuteDevice, TickStaysAllocationLeanInEveryState) {
+  if (!RtAllocationGuard::interposition_enabled()) {
+    GTEST_SKIP() << "allocation interposition compiled out";
+  }
+  // Drive one device through its whole lifecycle — calibration,
+  // listening, running, a relay death, hold, handoff, running on the
+  // standby — and count heap allocations per tick, attributed to the
+  // state the tick STARTED in. Signal-path ticks must be allocation-free;
+  // the budgeted exceptions are control-plane ticks (calibration fit,
+  // selection rounds, the handoff itself) plus the selector's amortized
+  // buffer growth, all of which fit in a small per-state fraction.
+  World world(2);
+  auto cfg = quick_config(2);
+  cfg.hold_timeout_s = 0.3;
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(2);
+  const int kDrop = 30000;
+  std::map<MuteDevice::State, std::pair<std::size_t, std::size_t>> by_state;
+  for (int t = 0; t < 60000; ++t) {
+    const auto state = device.state();
+    std::size_t allocs = 0;
+    {
+      RtAllocationGuard guard(RtAllocationGuard::Mode::kCount,
+                              "device-tick");
+      speaker = device.tick(relay_feed, error);
+      allocs = guard.allocations_since_entry();
+    }
+    auto& [ticks, clean] = by_state[state];
+    ++ticks;
+    if (allocs == 0) ++clean;
+    error = world.step(speaker, relay_feed);
+    if (t >= kDrop) relay_feed[0] = 0.0f;
+  }
+  // All five states must have been visited...
+  ASSERT_EQ(by_state.size(), 5u);
+  // ...and in every one of them, at least 95% of ticks are clean.
+  for (const auto& [state, counts] : by_state) {
+    const auto& [ticks, clean] = counts;
+    EXPECT_GE(static_cast<double>(clean), 0.95 * static_cast<double>(ticks))
+        << "state " << static_cast<int>(state) << ": " << (ticks - clean)
+        << " of " << ticks << " ticks allocated";
+  }
 }
 
 TEST(MuteDevice, TrainingToneOnlyDuringCalibration) {

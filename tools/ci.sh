@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Local CI pipeline — the same three jobs as .github/workflows/ci.yml,
-# runnable on any machine with the base toolchain:
+# Local CI pipeline — the three gating jobs of .github/workflows/ci.yml
+# (the workflow's extra failover-smoke job is reporting-only and runs the
+# bench/failover table as a per-push artifact), runnable on any machine
+# with the base toolchain:
 #
 #   1. plain    : dev preset build + full ctest
 #   2. sanitize : asan-ubsan preset build + ctest -L sanitize
