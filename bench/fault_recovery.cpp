@@ -15,6 +15,7 @@
 #include "audio/generators.hpp"
 #include "common/math_utils.hpp"
 #include "eval/report.hpp"
+#include "sim/parallel_sweep.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/system.hpp"
 
@@ -79,9 +80,16 @@ int main() {
   eval::Table sup({"fault", "pre_dB", "outage_dB", "recover_s", "post_dB",
                    "episodes", "flagged_s", "rollbacks"});
   eval::Table unsup({"fault", "pre_dB", "outage_dB", "post_dB"});
-  for (const auto scenario : scenarios) {
+  // Independent (scenario, supervision) simulations — seeds fixed inside
+  // run_one — so all 10 sweep in parallel; rows are emitted in index order.
+  constexpr std::size_t kScenarios = sizeof(scenarios) / sizeof(scenarios[0]);
+  const auto results = sim::parallel_sweep(2 * kScenarios, [&](std::size_t i) {
+    return run_one(scenarios[i % kScenarios], /*supervised=*/i < kScenarios);
+  });
+  for (std::size_t s = 0; s < kScenarios; ++s) {
+    const auto scenario = scenarios[s];
     {
-      const auto r = run_one(scenario, /*supervised=*/true);
+      const auto& r = results[s];
       const double pre = window_db(r, 3.0, 4.4);
       const double row[] = {
           pre,
@@ -95,7 +103,7 @@ int main() {
       sup.add_row(sim::fault_scenario_name(scenario), row, 2);
     }
     {
-      const auto r = run_one(scenario, /*supervised=*/false);
+      const auto& r = results[kScenarios + s];
       const double row[] = {
           window_db(r, 3.0, 4.4),
           window_db(r, kFaultStart, kFaultStart + kFaultLen),

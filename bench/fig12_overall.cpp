@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/parallel_sweep.hpp"
 
 int main() {
   using namespace mute;
@@ -15,14 +16,18 @@ int main() {
               "MUTE+Passive ~8.9 dB better than Bose_Overall.\n");
 
   const double kDur = 12.0;
-  const auto bose_active = run_scheme(sim::Scheme::kBoseActive,
-                                      sim::NoiseKind::kWhite, 42, kDur);
-  const auto bose_overall = run_scheme(sim::Scheme::kBoseOverall,
-                                       sim::NoiseKind::kWhite, 42, kDur);
-  const auto mute_hollow = run_scheme(sim::Scheme::kMuteHollow,
-                                      sim::NoiseKind::kWhite, 42, kDur);
-  const auto mute_passive = run_scheme(sim::Scheme::kMutePassive,
-                                       sim::NoiseKind::kWhite, 42, kDur);
+  // The four scheme runs share nothing (per-run configs, fixed seeds), so
+  // they sweep in parallel; results come back in scheme order.
+  const sim::Scheme schemes[] = {
+      sim::Scheme::kBoseActive, sim::Scheme::kBoseOverall,
+      sim::Scheme::kMuteHollow, sim::Scheme::kMutePassive};
+  const auto runs = sim::parallel_sweep(4, [&](std::size_t i) {
+    return run_scheme(schemes[i], sim::NoiseKind::kWhite, 42, kDur);
+  });
+  const auto& bose_active = runs[0];
+  const auto& bose_overall = runs[1];
+  const auto& mute_hollow = runs[2];
+  const auto& mute_passive = runs[3];
 
   bench::print_cancellation_curves(
       "Figure 12: cancellation vs frequency (dB)",

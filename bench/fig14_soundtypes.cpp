@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/parallel_sweep.hpp"
 
 int main() {
   using namespace mute;
@@ -17,9 +18,19 @@ int main() {
       sim::NoiseKind::kMaleVoice, sim::NoiseKind::kFemaleVoice,
       sim::NoiseKind::kConstruction, sim::NoiseKind::kMusic};
 
-  for (auto kind : kinds) {
-    const auto mute_run = run_scheme(sim::Scheme::kMuteHollow, kind, 42, kDur);
-    const auto bose_run = run_scheme(sim::Scheme::kBoseOverall, kind, 42, kDur);
+  // All eight (sound type, scheme) runs are independent; sweep them in
+  // parallel and print the panels from the ordered results.
+  constexpr std::size_t kKinds = sizeof(kinds) / sizeof(kinds[0]);
+  const auto runs = sim::parallel_sweep(2 * kKinds, [&](std::size_t i) {
+    return run_scheme(i < kKinds ? sim::Scheme::kMuteHollow
+                                 : sim::Scheme::kBoseOverall,
+                      kinds[i % kKinds], 42, kDur);
+  });
+
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    const auto kind = kinds[k];
+    const auto& mute_run = runs[k];
+    const auto& bose_run = runs[kKinds + k];
     bench::print_cancellation_curves(
         std::string("Figure 14 panel: ") + sim::noise_name(kind),
         {{"MUTE_Hollow", &mute_run.spectrum},

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "eval/listener.hpp"
+#include "sim/parallel_sweep.hpp"
 
 int main() {
   using namespace mute;
@@ -22,14 +23,24 @@ int main() {
   eval::Table table({"listener", "MUTE+P (music)", "Bose_O (music)",
                      "MUTE+P (voice)", "Bose_O (voice)"});
 
-  const auto mute_music =
-      run_scheme(sim::Scheme::kMutePassive, sim::NoiseKind::kMusic, 42, kDur);
-  const auto bose_music =
-      run_scheme(sim::Scheme::kBoseOverall, sim::NoiseKind::kMusic, 42, kDur);
-  const auto mute_voice = run_scheme(sim::Scheme::kMutePassive,
-                                     sim::NoiseKind::kMaleVoice, 43, kDur);
-  const auto bose_voice = run_scheme(sim::Scheme::kBoseOverall,
-                                     sim::NoiseKind::kMaleVoice, 43, kDur);
+  // Four independent simulations (fixed seeds per run) — sweep in parallel.
+  struct Spec {
+    sim::Scheme scheme;
+    sim::NoiseKind kind;
+    unsigned seed;
+  };
+  const Spec specs[] = {
+      {sim::Scheme::kMutePassive, sim::NoiseKind::kMusic, 42},
+      {sim::Scheme::kBoseOverall, sim::NoiseKind::kMusic, 42},
+      {sim::Scheme::kMutePassive, sim::NoiseKind::kMaleVoice, 43},
+      {sim::Scheme::kBoseOverall, sim::NoiseKind::kMaleVoice, 43}};
+  const auto runs = sim::parallel_sweep(4, [&](std::size_t i) {
+    return run_scheme(specs[i].scheme, specs[i].kind, specs[i].seed, kDur);
+  });
+  const auto& mute_music = runs[0];
+  const auto& bose_music = runs[1];
+  const auto& mute_voice = runs[2];
+  const auto& bose_voice = runs[3];
 
   const auto rate = [&](const bench::SchemeRun& run) {
     return panel.rate(run.result.disturbance, run.result.residual);

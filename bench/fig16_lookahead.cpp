@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/parallel_sweep.hpp"
 
 int main() {
   using namespace mute;
@@ -29,14 +30,17 @@ int main() {
                               {"0.75ms More", 0.75},
                               {"1.13ms More", 1.13}};
 
-  std::vector<bench::SchemeRun> runs;
+  // The baseline discovery run above is sequential (its lookahead feeds
+  // every variant's config); the four variant runs are independent and
+  // sweep in parallel.
+  constexpr std::size_t kVariants = sizeof(variants) / sizeof(variants[0]);
   std::vector<std::pair<std::string, const eval::CancellationSpectrum*>> curves;
-  for (const auto& v : variants) {
-    const double extra = std::max(0.0, total_s - v.more_ms * 1e-3);
-    runs.push_back(run_scheme(
+  const auto runs = sim::parallel_sweep(kVariants, [&](std::size_t i) {
+    const double extra = std::max(0.0, total_s - variants[i].more_ms * 1e-3);
+    return run_scheme(
         sim::Scheme::kMuteHollow, sim::NoiseKind::kWhite, 42, kDur,
-        [&](sim::SystemConfig& cfg) { cfg.extra_reference_delay_s = extra; }));
-  }
+        [&](sim::SystemConfig& cfg) { cfg.extra_reference_delay_s = extra; });
+  });
   for (std::size_t i = 0; i < runs.size(); ++i) {
     curves.emplace_back(variants[i].label, &runs[i].spectrum);
   }

@@ -5,10 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "adaptive/fdaf.hpp"
 #include "adaptive/fxlms.hpp"
 #include "adaptive/fxlms_multi.hpp"
+#include "adaptive/lms.hpp"
 #include "audio/generators.hpp"
 #include "common/rng.hpp"
 #include "core/gcc_phat.hpp"
@@ -16,12 +20,98 @@
 #include "dsp/convolution.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir_filter.hpp"
+#include "dsp/kernels.hpp"
 #include "dsp/resampler.hpp"
 #include "rf/fm.hpp"
 
 namespace {
 
 using namespace mute;
+
+// Machine-speed yardstick for tools/bench_gate.py: a deliberately scalar,
+// latency-bound chain (single-accumulator naive dot) whose cost tracks the
+// host's plain FP throughput and is immune to the SIMD level the kernels
+// dispatch to. The gate compares kernel-time / calibration-time ratios, so
+// a uniformly slower CI machine doesn't trip the regression threshold.
+void BM_Calibration(benchmark::State& state) {
+  std::vector<double> a(1024), b(1024);
+  Rng rng(42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.gaussian();
+    b[i] = rng.gaussian();
+  }
+  for (auto _ : state) {
+    const double d = dsp::kernels::naive::dot(a.data(), b.data(), a.size());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Calibration);
+
+void BM_KernelDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  Rng rng(13);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.gaussian();
+    b[i] = rng.gaussian();
+  }
+  for (auto _ : state) {
+    const double d = dsp::kernels::dot(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelDot)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_KernelEnergy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n);
+  Rng rng(14);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    const double e = dsp::kernels::energy(x.data(), n);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelEnergy)->Arg(1024);
+
+void BM_KernelAxpyLeakyNorm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> w(n), x(n);
+  Rng rng(15);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.gaussian(0.01);
+    x[i] = rng.gaussian();
+  }
+  for (auto _ : state) {
+    // keep == 1.0 so w neither decays to denormals nor diverges over the
+    // millions of timed iterations; g alternates sign around zero mean.
+    const double norm =
+        dsp::kernels::axpy_leaky_norm(w.data(), x.data(), 1.0, 1e-12, n);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelAxpyLeakyNorm)->Arg(1024);
+
+void BM_KernelScaledAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> acc(n, 0.0), x(n);
+  Rng rng(16);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    dsp::kernels::scaled_accumulate(acc.data(), x.data(), 1e-9, n);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelScaledAccumulate)->Arg(1024);
 
 void BM_Fft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -150,6 +240,52 @@ void BM_MultiLancTick(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiLancTick)->Arg(1)->Arg(2)->Arg(4);
 
+// The full FxLMS per-sample duty cycle (push + compute + adapt) — the
+// number the hot-path budget lives or dies on. `taps` is the total filter
+// length (noncausal + causal). Reference samples are pregenerated so the
+// timing measures the engine, not std::normal_distribution.
+void BM_FxlmsCycle(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  std::vector<double> hse(128, 0.0);
+  hse[2] = 1.0;
+  adaptive::FxlmsOptions opts;
+  opts.causal_taps = taps / 2;
+  opts.noncausal_taps = taps - taps / 2;
+  adaptive::FxlmsEngine engine(hse, opts);
+  Rng rng(10);
+  std::vector<Sample> xs(4096);
+  for (auto& v : xs) v = static_cast<Sample>(rng.gaussian(0.1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.push_reference(xs[i]);
+    i = (i + 1 == xs.size()) ? 0 : i + 1;
+    const Sample y = engine.compute_antinoise();
+    engine.adapt(y * 0.01f);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FxlmsCycle)->Arg(256)->Arg(1024)->Arg(2048);
+
+// LMS predict+update per-sample cycle (system identification hot loop).
+void BM_AdaptiveFirStep(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  adaptive::AdaptiveFir fir(taps);
+  Rng rng(12);
+  std::vector<Sample> xs(4096);
+  for (auto& v : xs) v = static_cast<Sample>(rng.gaussian(0.2));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Sample x = xs[i];
+    i = (i + 1 == xs.size()) ? 0 : i + 1;
+    fir.predict(x);
+    const Sample e = fir.update(x * 0.5f);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptiveFirStep)->Arg(256)->Arg(1024);
+
 void BM_FmModDemod(benchmark::State& state) {
   rf::FmModulator mod(60000.0, kDefaultRfSampleRate);
   rf::FmDemodulator demod(60000.0, kDefaultRfSampleRate);
@@ -192,4 +328,32 @@ BENCHMARK(BM_GccPhat);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom entry point: `--json out.json` is shorthand for google-benchmark's
+// `--benchmark_out=out.json --benchmark_out_format=json` (what
+// tools/bench_gate.py and the CI perf-smoke job consume). Everything else
+// passes through to the library untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.emplace_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + arg.substr(7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "dsp/kernels.hpp"
 
 namespace mute::adaptive {
 
@@ -12,8 +13,8 @@ FxlmsEngine::FxlmsEngine(std::vector<double> secondary_path_estimate,
                          FxlmsOptions options)
     : opts_(options),
       w_(options.noncausal_taps + options.causal_taps, 0.0),
-      x_hist_(w_.size(), 0.0),
-      u_hist_(w_.size(), 0.0),
+      x_hist_(w_.size()),
+      u_hist_(w_.size()),
       sec_path_filter_(secondary_path_estimate),
       sec_path_(std::move(secondary_path_estimate)),
       good_w_(w_.size(), 0.0) {
@@ -33,19 +34,26 @@ void FxlmsEngine::push_reference(Sample x_advanced) {
   // Filtered reference u(t+N) = (h_se_est * x)(t+N), computed on arrival.
   const Sample u_new = sec_path_filter_.process(x_advanced);
 
-  u_power_ += static_cast<double>(u_new) * static_cast<double>(u_new) -
-              u_hist_.back() * u_hist_.back();
-  std::rotate(x_hist_.rbegin(), x_hist_.rbegin() + 1, x_hist_.rend());
-  std::rotate(u_hist_.rbegin(), u_hist_.rbegin() + 1, u_hist_.rend());
-  x_hist_[0] = static_cast<double>(x_advanced);
-  u_hist_[0] = static_cast<double>(u_new);
+  const double u_old = u_hist_.oldest();
+  x_hist_.push(static_cast<double>(x_advanced));
+  u_hist_.push(static_cast<double>(u_new));
+  if (++pushes_since_power_sync_ >= w_.size()) {
+    // Exact re-sync: the incremental add/subtract below leaves a rounding
+    // residue each push, and over ~1e6 pushes that residue can dwarf the
+    // true window power once the reference gets quiet. One O(taps)
+    // recompute per taps pushes keeps the amortized cost O(1).
+    pushes_since_power_sync_ = 0;
+    u_power_ = dsp::kernels::energy(u_hist_.data(), w_.size());
+  } else {
+    u_power_ += static_cast<double>(u_new) * static_cast<double>(u_new) -
+                u_old * u_old;
+  }
 }
 
 Sample FxlmsEngine::compute_antinoise() const {
-  // Index i holds x(t - (i - N)); weight w_[i] is w_{k = i - N}.
-  double y = 0.0;
-  for (std::size_t i = 0; i < w_.size(); ++i) y += w_[i] * x_hist_[i];
-  return static_cast<Sample>(y);
+  // Window index i holds x(t - (i - N)); weight w_[i] is w_{k = i - N}.
+  return static_cast<Sample>(
+      dsp::kernels::dot(w_.data(), x_hist_.data(), w_.size()));
 }
 
 void FxlmsEngine::adapt(Sample error) {
@@ -58,11 +66,8 @@ void FxlmsEngine::adapt(Sample error) {
   const double denom = std::max(u_power_, 0.0) + opts_.epsilon;
   const double g = opts_.mu * static_cast<double>(error) / denom;
   const double keep = 1.0 - opts_.mu * opts_.leakage;
-  double norm2 = 0.0;
-  for (std::size_t i = 0; i < w_.size(); ++i) {
-    w_[i] = keep * w_[i] - g * u_hist_[i];
-    norm2 += w_[i] * w_[i];
-  }
+  const double norm2 = dsp::kernels::axpy_leaky_norm(
+      w_.data(), u_hist_.data(), keep, -g, w_.size());
   w_norm2_ = norm2;
   if (opts_.weight_norm_limit <= 0.0) return;
 
@@ -104,8 +109,7 @@ Sample FxlmsEngine::step_output(Sample x_advanced) {
 void FxlmsEngine::set_weights(std::span<const double> w) {
   ensure(w.size() == w_.size(), "weight size mismatch");
   std::copy(w.begin(), w.end(), w_.begin());
-  double norm2 = 0.0;
-  for (const double v : w_) norm2 += v * v;
+  const double norm2 = dsp::kernels::energy(w_.data(), w_.size());
   w_norm2_ = norm2;
   // Externally-installed weights (warm start, profile cache) are trusted:
   // adopt them as the rollback target when they are inside the guard band.
@@ -146,6 +150,7 @@ void FxlmsEngine::retarget_noncausal(std::size_t new_noncausal,
   u_hist_.assign(new_total, 0.0);
   sec_path_filter_.reset();
   u_power_ = 0.0;
+  pushes_since_power_sync_ = 0;
   w_norm2_ = norm2;
   // The remap is a subset of the live weights, so its norm is bounded by
   // theirs — adopt it unconditionally as the rollback target (the guard
@@ -172,10 +177,11 @@ const std::vector<double>& FxlmsEngine::secondary_path() const {
 }
 
 void FxlmsEngine::reset_history() {
-  std::fill(x_hist_.begin(), x_hist_.end(), 0.0);
-  std::fill(u_hist_.begin(), u_hist_.end(), 0.0);
+  x_hist_.fill(0.0);
+  u_hist_.fill(0.0);
   sec_path_filter_.reset();
   u_power_ = 0.0;
+  pushes_since_power_sync_ = 0;
 }
 
 void FxlmsEngine::reset() {

@@ -6,6 +6,7 @@
 
 #include "common/types.hpp"
 #include "dsp/fir_filter.hpp"
+#include "dsp/ring_history.hpp"
 
 namespace mute::adaptive {
 
@@ -78,6 +79,11 @@ class FxlmsEngine {
 
   /// Current weight L2 norm (maintained incrementally by adapt()).
   double weight_norm() const;
+  /// Filtered-reference window power ||u||^2 — the NLMS denominator.
+  /// Maintained incrementally per push and re-synced exactly (kernel
+  /// recompute) every total_taps() pushes so add/subtract rounding error
+  /// cannot accumulate over long runs.
+  double reference_power() const { return u_power_; }
   /// Times the divergence guard rolled the weights back.
   std::size_t rollback_count() const { return rollback_count_; }
 
@@ -123,12 +129,15 @@ class FxlmsEngine {
 
  private:
   FxlmsOptions opts_;
-  std::vector<double> w_;       // [noncausal | causal], newest-first order
-  std::vector<double> x_hist_;  // x(t+N) at index 0
-  std::vector<double> u_hist_;  // filtered reference, aligned with x_hist_
+  std::vector<double> w_;  // [noncausal | causal], newest-first order
+  // Doubled-buffer rings, newest-first windows aligned with w_:
+  // x_hist_.data()[i] = x(t - (i - N)), u_hist_ is the filtered reference.
+  mute::dsp::RingHistory<double> x_hist_;
+  mute::dsp::RingHistory<double> u_hist_;
   mute::dsp::FirFilter sec_path_filter_;
   std::vector<double> sec_path_;
   double u_power_ = 0.0;
+  std::size_t pushes_since_power_sync_ = 0;
 
   // Divergence guard state (preallocated; adapt() stays allocation-free).
   std::vector<double> good_w_;   // last-known-good snapshot

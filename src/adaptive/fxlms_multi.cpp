@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "dsp/kernels.hpp"
 
 namespace mute::adaptive {
 
@@ -16,12 +17,14 @@ MultiFxlmsEngine::MultiFxlmsEngine(std::vector<double> secondary_path_estimate,
   channels_.reserve(per_channel.size());
   for (const auto& opts : per_channel) {
     ensure(opts.causal_taps >= 1, "need at least one causal tap");
+    const std::size_t taps = opts.noncausal_taps + opts.causal_taps;
     Channel ch{opts,
-               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
-               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
-               std::vector<double>(opts.noncausal_taps + opts.causal_taps, 0.0),
+               std::vector<double>(taps, 0.0),
+               mute::dsp::RingHistory<double>(taps),
+               mute::dsp::RingHistory<double>(taps),
                mute::dsp::FirFilter(secondary_path_estimate),
-               0.0};
+               0.0,
+               0};
     channels_.push_back(std::move(ch));
   }
   ensure(mu_ > 0, "mu must be positive");
@@ -33,21 +36,24 @@ void MultiFxlmsEngine::push_references(std::span<const Sample> x_advanced) {
   for (std::size_t k = 0; k < channels_.size(); ++k) {
     auto& ch = channels_[k];
     const Sample u_new = ch.sec_filter.process(x_advanced[k]);
-    ch.u_power += static_cast<double>(u_new) * static_cast<double>(u_new) -
-                  ch.u_hist.back() * ch.u_hist.back();
-    std::rotate(ch.x_hist.rbegin(), ch.x_hist.rbegin() + 1, ch.x_hist.rend());
-    std::rotate(ch.u_hist.rbegin(), ch.u_hist.rbegin() + 1, ch.u_hist.rend());
-    ch.x_hist[0] = static_cast<double>(x_advanced[k]);
-    ch.u_hist[0] = static_cast<double>(u_new);
+    const double u_old = ch.u_hist.oldest();
+    ch.x_hist.push(static_cast<double>(x_advanced[k]));
+    ch.u_hist.push(static_cast<double>(u_new));
+    if (++ch.pushes_since_power_sync >= ch.w.size()) {
+      // Exact re-sync of the incremental window power (see FxlmsEngine).
+      ch.pushes_since_power_sync = 0;
+      ch.u_power = dsp::kernels::energy(ch.u_hist.data(), ch.w.size());
+    } else {
+      ch.u_power += static_cast<double>(u_new) * static_cast<double>(u_new) -
+                    u_old * u_old;
+    }
   }
 }
 
 Sample MultiFxlmsEngine::compute_antinoise() const {
   double y = 0.0;
   for (const auto& ch : channels_) {
-    for (std::size_t i = 0; i < ch.w.size(); ++i) {
-      y += ch.w[i] * ch.x_hist[i];
-    }
+    y += dsp::kernels::dot(ch.w.data(), ch.x_hist.data(), ch.w.size());
   }
   return static_cast<Sample>(y);
 }
@@ -58,9 +64,8 @@ void MultiFxlmsEngine::adapt(Sample error) {
   const double g = mu_ * static_cast<double>(error) / (total_power + epsilon_);
   const double keep = 1.0 - mu_ * leakage_;
   for (auto& ch : channels_) {
-    for (std::size_t i = 0; i < ch.w.size(); ++i) {
-      ch.w[i] = keep * ch.w[i] - g * ch.u_hist[i];
-    }
+    dsp::kernels::axpy_leaky_norm(ch.w.data(), ch.u_hist.data(), keep, -g,
+                                  ch.w.size());
   }
 }
 
@@ -78,10 +83,11 @@ const std::vector<double>& MultiFxlmsEngine::weights(
 void MultiFxlmsEngine::reset() {
   for (auto& ch : channels_) {
     std::fill(ch.w.begin(), ch.w.end(), 0.0);
-    std::fill(ch.x_hist.begin(), ch.x_hist.end(), 0.0);
-    std::fill(ch.u_hist.begin(), ch.u_hist.end(), 0.0);
+    ch.x_hist.fill(0.0);
+    ch.u_hist.fill(0.0);
     ch.sec_filter.reset();
     ch.u_power = 0.0;
+    ch.pushes_since_power_sync = 0;
   }
 }
 

@@ -7,6 +7,7 @@
 #include "adaptive/fxlms.hpp"
 #include "common/types.hpp"
 #include "dsp/fir_filter.hpp"
+#include "dsp/ring_history.hpp"
 
 namespace mute::adaptive {
 
@@ -53,11 +54,12 @@ class MultiFxlmsEngine {
  private:
   struct Channel {
     FxlmsOptions opts;
-    std::vector<double> w;       // [noncausal | causal], newest-first
-    std::vector<double> x_hist;
-    std::vector<double> u_hist;
+    std::vector<double> w;  // [noncausal | causal], newest-first
+    mute::dsp::RingHistory<double> x_hist;
+    mute::dsp::RingHistory<double> u_hist;
     mute::dsp::FirFilter sec_filter;
     double u_power = 0.0;
+    std::size_t pushes_since_power_sync = 0;
   };
 
   double mu_;

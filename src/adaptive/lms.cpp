@@ -5,11 +5,12 @@
 
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
+#include "dsp/kernels.hpp"
 
 namespace mute::adaptive {
 
 AdaptiveFir::AdaptiveFir(std::size_t taps, LmsOptions options)
-    : opts_(options), w_(taps, 0.0), x_(taps, 0.0) {
+    : opts_(options), w_(taps, 0.0), x_(taps) {
   ensure(taps >= 1, "need at least one tap");
   ensure(options.mu > 0, "mu must be positive");
   ensure(options.epsilon > 0, "epsilon must be positive");
@@ -17,13 +18,16 @@ AdaptiveFir::AdaptiveFir(std::size_t taps, LmsOptions options)
 }
 
 Sample AdaptiveFir::predict(Sample x) {
-  // Slide history (newest at index 0).
-  power_ += static_cast<double>(x) * static_cast<double>(x) -
-            x_.back() * x_.back();
-  std::rotate(x_.rbegin(), x_.rbegin() + 1, x_.rend());
-  x_[0] = static_cast<double>(x);
-  double y = 0.0;
-  for (std::size_t k = 0; k < w_.size(); ++k) y += w_[k] * x_[k];
+  // O(1) history slide (newest at window index 0).
+  const double x_old = x_.oldest();
+  x_.push(static_cast<double>(x));
+  if (++pushes_since_power_sync_ >= w_.size()) {
+    pushes_since_power_sync_ = 0;
+    power_ = dsp::kernels::energy(x_.data(), w_.size());
+  } else {
+    power_ += static_cast<double>(x) * static_cast<double>(x) - x_old * x_old;
+  }
+  const double y = dsp::kernels::dot(w_.data(), x_.data(), w_.size());
   last_y_ = y;
   return static_cast<Sample>(y);
 }
@@ -34,9 +38,7 @@ Sample AdaptiveFir::update(Sample desired) {
       opts_.normalized ? (std::max(power_, 0.0) + opts_.epsilon) : 1.0;
   const double g = opts_.mu * e / denom;
   const double keep = 1.0 - opts_.mu * opts_.leakage;
-  for (std::size_t k = 0; k < w_.size(); ++k) {
-    w_[k] = keep * w_[k] + g * x_[k];
-  }
+  dsp::kernels::axpy_leaky_norm(w_.data(), x_.data(), keep, g, w_.size());
   return static_cast<Sample>(e);
 }
 
@@ -60,9 +62,10 @@ void AdaptiveFir::set_weights(std::span<const double> w) {
 
 void AdaptiveFir::reset() {
   std::fill(w_.begin(), w_.end(), 0.0);
-  std::fill(x_.begin(), x_.end(), 0.0);
+  x_.fill(0.0);
   power_ = 0.0;
   last_y_ = 0.0;
+  pushes_since_power_sync_ = 0;
 }
 
 double misalignment_db(std::span<const double> w,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "dsp/ring_history.hpp"
 
 namespace mute::adaptive {
 
@@ -47,15 +48,17 @@ class AdaptiveFir {
   std::size_t tap_count() const { return w_.size(); }
   const LmsOptions& options() const { return opts_; }
 
-  /// Current input-vector power estimate (NLMS denominator).
+  /// Current input-vector power estimate (NLMS denominator). Maintained
+  /// incrementally and re-synced exactly every tap_count() pushes.
   double input_power() const { return power_; }
 
  private:
   LmsOptions opts_;
   std::vector<double> w_;
-  std::vector<double> x_;   // newest-first history
+  dsp::RingHistory<double> x_;  // newest-first window aligned with w_
   double power_ = 0.0;
   double last_y_ = 0.0;
+  std::size_t pushes_since_power_sync_ = 0;
 };
 
 /// Misalignment ||w - w_true||^2 / ||w_true||^2 in dB (system-id quality).

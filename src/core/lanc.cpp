@@ -14,7 +14,7 @@ LancController::LancController(std::vector<double> secondary_path_estimate,
       extractor_(options.sample_rate,
                  /*fft_size=*/std::min<std::size_t>(options.profile_frame, 512)),
       classifier_(options.classifier),
-      frame_buffer_(options.profile_frame, 0.0f) {
+      frame_buffer_(options.profile_frame) {
   ensure(options.profile_hop >= 1, "profile hop must be >= 1");
   ensure(options.profile_frame >= extractor_.fft_size(),
          "profile frame must cover the signature FFT");
@@ -107,10 +107,8 @@ void LancController::retarget(std::size_t new_relay,
 }
 
 void LancController::run_profiler(Sample x_advanced) {
-  // Rolling frame of the advanced stream.
-  std::rotate(frame_buffer_.begin(), frame_buffer_.begin() + 1,
-              frame_buffer_.end());
-  frame_buffer_.back() = x_advanced;
+  // Rolling frame of the advanced stream (O(1) push, contiguous window).
+  frame_buffer_.push(x_advanced);
   if (frame_fill_ < frame_buffer_.size()) {
     ++frame_fill_;
     return;
@@ -123,7 +121,7 @@ void LancController::run_profiler(Sample x_advanced) {
     weight_snapshots_.pop_front();
   }
 
-  const auto sig = extractor_.extract(frame_buffer_);
+  const auto sig = extractor_.extract(frame_buffer_.window());
   const std::size_t id = classifier_.classify(sig);
 
   recent_ids_.push_back(id);
@@ -191,7 +189,7 @@ void LancController::reset() {
   classifier_.reset();
   cache_.clear();
   weight_snapshots_.clear();
-  std::fill(frame_buffer_.begin(), frame_buffer_.end(), 0.0f);
+  frame_buffer_.fill(0.0f);
   frame_fill_ = 0;
   hop_counter_ = 0;
   current_profile_ = 0;

@@ -8,6 +8,7 @@
 #include "common/types.hpp"
 #include "core/filter_cache.hpp"
 #include "core/profile.hpp"
+#include "dsp/ring_history.hpp"
 
 namespace mute::core {
 
@@ -129,7 +130,9 @@ class LancController {
   // per-frame snapshots preserves the state from before the transition.
   std::deque<std::vector<double>> weight_snapshots_;
   std::size_t snapshot_depth_ = 4;
-  Signal frame_buffer_;            // rolling window of advanced samples
+  // Rolling window of advanced samples, oldest-first, O(1) per tick; the
+  // contiguous window feeds the signature extractor directly.
+  dsp::FrameHistory<Sample> frame_buffer_;
   std::size_t frame_fill_ = 0;
   std::size_t hop_counter_ = 0;
   std::size_t current_profile_ = 0;

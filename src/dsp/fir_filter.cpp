@@ -1,35 +1,65 @@
 #include "dsp/fir_filter.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "dsp/kernels.hpp"
 
 namespace mute::dsp {
 
 FirFilter::FirFilter(std::vector<double> coefficients)
-    : coeffs_(std::move(coefficients)), history_(coeffs_.size(), 0.0) {
+    : coeffs_(std::move(coefficients)),
+      history_(std::max<std::size_t>(coeffs_.size(), 1)) {
   ensure(!coeffs_.empty(), "FIR filter needs at least one coefficient");
 }
 
 Sample FirFilter::process(Sample x) {
   MUTE_CHECK_FINITE(x, "FIR input sample");
   MUTE_RT_SCOPE("FirFilter::process");
-  const std::size_t n = coeffs_.size();
-  MUTE_DCHECK(pos_ < n, "FIR history cursor out of range");
-  history_[pos_] = static_cast<double>(x);
-  double acc = 0.0;
-  // h[0] multiplies the newest sample, h[n-1] the oldest.
-  std::size_t idx = pos_;
-  for (std::size_t k = 0; k < n; ++k) {
-    acc += coeffs_[k] * history_[idx];
-    idx = (idx == 0) ? n - 1 : idx - 1;
-  }
-  pos_ = (pos_ + 1 == n) ? 0 : pos_ + 1;
-  return static_cast<Sample>(acc);
+  // h[0] multiplies the newest sample, h[n-1] the oldest — exactly the
+  // ring's newest-first window order.
+  history_.push(static_cast<double>(x));
+  return static_cast<Sample>(
+      kernels::dot(coeffs_.data(), history_.data(), coeffs_.size()));
 }
 
 void FirFilter::process(std::span<const Sample> in, std::span<Sample> out) {
   ensure(in.size() == out.size(), "in/out block sizes must match");
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  const std::size_t n = coeffs_.size();
+  const std::size_t b = in.size();
+  if (b == 0) return;
+
+  // Assemble [n-1 most recent history samples | the block] in one
+  // contiguous double buffer; each tap k then contributes a contiguous
+  // slice, turning the O(b*n) filter into n vectorizable
+  // scaled_accumulate passes instead of b strided dot products.
+  block_x_.resize(n - 1 + b);
+  block_y_.assign(b, 0.0);
+  const double* hist = history_.data();  // newest-first
+  for (std::size_t m = 1; m < n; ++m) block_x_[n - 1 - m] = hist[m - 1];
+  for (std::size_t i = 0; i < b; ++i) {
+    MUTE_CHECK_FINITE(in[i], "FIR input sample");
+    block_x_[n - 1 + i] = static_cast<double>(in[i]);
+  }
+
+  // out[i] = sum_k h[k] * x[i - k]; with x linearized above the k-th tap
+  // reads block_x_[n-1-k .. n-1-k+b). Tap-major keeps the per-output
+  // accumulation order identical to the scalar path (k ascending).
+  for (std::size_t k = 0; k < n; ++k) {
+    kernels::scaled_accumulate(block_y_.data(), block_x_.data() + (n - 1 - k),
+                               coeffs_[k], b);
+  }
+
+  // Refill the streaming history with the tail of the block so a scalar
+  // process() call after this block sees exactly the samples it would have
+  // seen had the block been fed one sample at a time.
+  for (std::size_t i = (b >= n ? b - n : 0); i < b; ++i) {
+    history_.push(block_x_[n - 1 + i]);
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    out[i] = static_cast<Sample>(block_y_[i]);
+  }
 }
 
 Signal FirFilter::filter(std::span<const Sample> in) {
@@ -38,9 +68,6 @@ Signal FirFilter::filter(std::span<const Sample> in) {
   return out;
 }
 
-void FirFilter::reset() {
-  std::fill(history_.begin(), history_.end(), 0.0);
-  pos_ = 0;
-}
+void FirFilter::reset() { history_.fill(0.0); }
 
 }  // namespace mute::dsp

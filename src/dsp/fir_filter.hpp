@@ -5,12 +5,15 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "dsp/ring_history.hpp"
 
 namespace mute::dsp {
 
-/// Streaming direct-form FIR filter with a circular history buffer.
-/// Coefficients are double precision; samples are Sample (float) with a
-/// double accumulator, per the library convention.
+/// Streaming direct-form FIR filter over a doubled-buffer ring history:
+/// O(1) sample admission and a contiguous newest-first window, so the tap
+/// loop is a single kernels::dot. Coefficients are double precision;
+/// samples are Sample (float) with a double accumulator, per the library
+/// convention.
 class FirFilter {
  public:
   explicit FirFilter(std::vector<double> coefficients);
@@ -18,7 +21,14 @@ class FirFilter {
   /// Process one sample.
   Sample process(Sample x);
 
-  /// Process a block (in == out sizes).
+  /// Process a block (in == out sizes). Runs tap-major over the kernel
+  /// layer (kernels::scaled_accumulate on contiguous slices) rather than
+  /// looping process(); per-sample accumulation order matches the scalar
+  /// path's naive order, so results agree to reassociation error (the
+  /// equivalence test pins 1e-12). `in` and `out` may be the same span.
+  /// May allocate scratch on first use / block growth — call once with the
+  /// largest block from a control-plane context if the caller needs the
+  /// steady state allocation-free.
   void process(std::span<const Sample> in, std::span<Sample> out);
 
   /// Convenience: filter a whole signal, same length as input.
@@ -32,8 +42,9 @@ class FirFilter {
 
  private:
   std::vector<double> coeffs_;
-  std::vector<double> history_;  // circular
-  std::size_t pos_ = 0;
+  RingHistory<double> history_;
+  std::vector<double> block_x_;  // [n-1 history | block] scratch
+  std::vector<double> block_y_;  // double accumulators for one block
 };
 
 }  // namespace mute::dsp

@@ -1,0 +1,161 @@
+#include "dsp/kernels.hpp"
+
+// This translation unit is compiled with elevated optimization flags plus
+// -ffp-contract=off (see src/dsp/CMakeLists.txt): the loops below are
+// written with EIGHT independent partial accumulators so the
+// auto-vectorizer can map them onto full SIMD registers (8 double lanes on
+// AVX-512, 2x4 on AVX2, 4x2 on SSE2) without reassociating anything — each
+// source-level accumulator chain is preserved exactly, and contraction is
+// off, so the result is bit-identical whichever clone the runtime
+// dispatches. The lane count also breaks the loop-carried FP-add dependency
+// that makes a single-accumulator dot latency-bound.
+//
+// MUTE_KERNEL_CLONES compiles each kernel three times (baseline x86-64,
+// AVX2, AVX-512F) behind a glibc ifunc resolver, so the portable default
+// binary still runs the wide path on wide machines. On other
+// platforms/compilers it degrades to a single baseline clone.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MUTE_KERNEL_RESTRICT __restrict__
+#else
+#define MUTE_KERNEL_RESTRICT
+#endif
+
+// No clones under ThreadSanitizer: the glibc ifunc resolvers run before
+// the tsan runtime initializes and crash at load time. The single default
+// clone computes the same bits, so tsan coverage is unaffected.
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__)
+#define MUTE_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define MUTE_KERNEL_CLONES
+#endif
+
+namespace mute::dsp::kernels {
+
+MUTE_KERNEL_CLONES
+double dot(const double* a_in, const double* b_in, std::size_t n) {
+  const double* MUTE_KERNEL_RESTRICT a = a_in;
+  const double* MUTE_KERNEL_RESTRICT b = b_in;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+    s4 += a[i + 4] * b[i + 4];
+    s5 += a[i + 5] * b[i + 5];
+    s6 += a[i + 6] * b[i + 6];
+    s7 += a[i + 7] * b[i + 7];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail;
+}
+
+MUTE_KERNEL_CLONES
+double energy(const double* x_in, std::size_t n) {
+  const double* MUTE_KERNEL_RESTRICT x = x_in;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += x[i] * x[i];
+    s1 += x[i + 1] * x[i + 1];
+    s2 += x[i + 2] * x[i + 2];
+    s3 += x[i + 3] * x[i + 3];
+    s4 += x[i + 4] * x[i + 4];
+    s5 += x[i + 5] * x[i + 5];
+    s6 += x[i + 6] * x[i + 6];
+    s7 += x[i + 7] * x[i + 7];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i] * x[i];
+  return (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail;
+}
+
+MUTE_KERNEL_CLONES
+double axpy_leaky_norm(double* w_in, const double* x_in, double keep, double g,
+                       std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT w = w_in;
+  const double* MUTE_KERNEL_RESTRICT x = x_in;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const double w0 = keep * w[i] + g * x[i];
+    const double w1 = keep * w[i + 1] + g * x[i + 1];
+    const double w2 = keep * w[i + 2] + g * x[i + 2];
+    const double w3 = keep * w[i + 3] + g * x[i + 3];
+    const double w4 = keep * w[i + 4] + g * x[i + 4];
+    const double w5 = keep * w[i + 5] + g * x[i + 5];
+    const double w6 = keep * w[i + 6] + g * x[i + 6];
+    const double w7 = keep * w[i + 7] + g * x[i + 7];
+    w[i] = w0;
+    w[i + 1] = w1;
+    w[i + 2] = w2;
+    w[i + 3] = w3;
+    w[i + 4] = w4;
+    w[i + 5] = w5;
+    w[i + 6] = w6;
+    w[i + 7] = w7;
+    s0 += w0 * w0;
+    s1 += w1 * w1;
+    s2 += w2 * w2;
+    s3 += w3 * w3;
+    s4 += w4 * w4;
+    s5 += w5 * w5;
+    s6 += w6 * w6;
+    s7 += w7 * w7;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double wi = keep * w[i] + g * x[i];
+    w[i] = wi;
+    tail += wi * wi;
+  }
+  return (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail;
+}
+
+MUTE_KERNEL_CLONES
+void scaled_accumulate(double* acc_in, const double* x_in, double s,
+                       std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT acc = acc_in;
+  const double* MUTE_KERNEL_RESTRICT x = x_in;
+  for (std::size_t i = 0; i < n; ++i) acc[i] += s * x[i];
+}
+
+namespace naive {
+
+double dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double energy(const double* x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+double axpy_leaky_norm(double* w, const double* x, double keep, double g,
+                       std::size_t n) {
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = keep * w[i] + g * x[i];
+    norm2 += w[i] * w[i];
+  }
+  return norm2;
+}
+
+void scaled_accumulate(double* acc, const double* x, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += s * x[i];
+}
+
+}  // namespace naive
+
+}  // namespace mute::dsp::kernels

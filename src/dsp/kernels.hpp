@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+/// Shared hot-path DSP kernels.
+///
+/// Every per-sample loop in the adaptive engines and the FIR filter funnels
+/// through these four primitives, so they carry the whole real-time budget
+/// (DESIGN.md §10). Contracts:
+///
+///   dot(a, b, n)                 sum_i a[i] * b[i]. `a` and `b` must not
+///                                alias (restrict-qualified); use energy()
+///                                for a self-product.
+///   energy(x, n)                 sum_i x[i]^2.
+///   axpy_leaky_norm(w, x, ...)   w[i] = keep * w[i] + g * x[i] for all i,
+///                                returns the *new* ||w||^2 — the fused
+///                                FxLMS/LMS weight update. `w` and `x` must
+///                                not alias.
+///   scaled_accumulate(acc, ...)  acc[i] += s * x[i] — the tap-major inner
+///                                step of block FIR filtering. No aliasing.
+///
+/// Numerical contract: results are deterministic for a fixed build (fixed
+/// accumulation order — wide independent partial sums, folded in a fixed
+/// sequence) but are NOT bit-identical to the single-accumulator naive::
+/// forms; they agree to a relative 1e-12-ish reassociation error, which the
+/// equivalence tests in tests/dsp/kernels_test.cpp pin. The naive::
+/// implementations exist as the reference semantics and must never be
+/// "optimized".
+///
+/// All kernels are allocation-free and safe inside MUTE_RT_SCOPE sections.
+/// n == 0 is valid (returns 0 / does nothing).
+namespace mute::dsp::kernels {
+
+double dot(const double* a, const double* b, std::size_t n);
+double energy(const double* x, std::size_t n);
+double axpy_leaky_norm(double* w, const double* x, double keep, double g,
+                       std::size_t n);
+void scaled_accumulate(double* acc, const double* x, double s, std::size_t n);
+
+/// Reference implementations: textbook single-accumulator loops, kept for
+/// equivalence testing and as the documentation of record for the kernel
+/// semantics.
+namespace naive {
+
+double dot(const double* a, const double* b, std::size_t n);
+double energy(const double* x, std::size_t n);
+double axpy_leaky_norm(double* w, const double* x, double keep, double g,
+                       std::size_t n);
+void scaled_accumulate(double* acc, const double* x, double s, std::size_t n);
+
+}  // namespace naive
+
+}  // namespace mute::dsp::kernels

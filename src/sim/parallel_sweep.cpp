@@ -1,0 +1,65 @@
+#include "sim/parallel_sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace mute::sim {
+
+std::size_t default_sweep_workers() {
+  if (const char* env = std::getenv("MUTE_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for_index(std::size_t count, std::size_t workers,
+                        const std::function<void(std::size_t)>& body) {
+  ensure(body != nullptr, "parallel_for_index requires a body");
+  if (count == 0) return;
+  if (workers == 0) workers = default_sweep_workers();
+  if (workers > count) workers = count;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto drain = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace mute::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mute::sim {
+
+/// Worker count used when a sweep asks for `workers == 0`: the
+/// MUTE_SWEEP_THREADS environment variable when set (>= 1), otherwise
+/// std::thread::hardware_concurrency() (>= 1).
+std::size_t default_sweep_workers();
+
+/// Run body(0) .. body(count-1) across a temporary thread pool of
+/// `workers` threads (0 = default_sweep_workers(); the calling thread
+/// participates, so workers == 1 runs inline with no thread machinery).
+///
+/// Determinism contract (DESIGN.md §10): the bodies of one sweep must be
+/// independent — each index derives everything it needs (RNG seeds
+/// included) from its own arguments and writes only to its own slot. Under
+/// that contract the sweep is bit-deterministic: results depend only on the
+/// index, never on thread count or interleaving. The contract is what the
+/// simulation library already guarantees (seeded per-scenario RNGs, no
+/// mutable globals) and the tsan preset verifies.
+///
+/// Indices are claimed from a shared atomic counter (work stealing —
+/// scenario runtimes vary wildly, static chunking would idle the fast
+/// workers). The first exception thrown by any body is re-thrown on the
+/// calling thread after the pool drains; remaining un-started indices are
+/// abandoned at the next claim.
+void parallel_for_index(std::size_t count, std::size_t workers,
+                        const std::function<void(std::size_t)>& body);
+
+/// Map fn over [0, count) concurrently and return the results IN INDEX
+/// ORDER — the parallel replacement for the figure benches' serial
+/// scenario loops. `fn` must satisfy the determinism contract of
+/// parallel_for_index and be safe to invoke concurrently from several
+/// threads (a lambda capturing only const/immutable state qualifies).
+template <typename Fn>
+auto parallel_sweep(std::size_t count, Fn&& fn, std::size_t workers = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<std::optional<R>> slots(count);
+  parallel_for_index(count, workers,
+                     [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(count);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace mute::sim

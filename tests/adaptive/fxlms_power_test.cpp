@@ -1,0 +1,97 @@
+// Regression test for the NLMS denominator ||u||^2 (DESIGN.md §10): the
+// incremental add-newest/subtract-oldest update accumulates floating-point
+// rounding error without bound, which matters exactly when the signal
+// moves between loud and quiet regimes — residue from a loud phase can
+// dwarf the true power of a quiet phase and collapse the normalized step
+// size. push_reference() re-syncs the sum with an exact kernel recompute
+// every total_taps() pushes, so the drift observed over ~1e6 samples must
+// stay at recompute precision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "adaptive/fxlms.hpp"
+#include "common/rng.hpp"
+#include "dsp/kernels.hpp"
+
+namespace {
+
+using namespace mute;
+
+// Identity secondary path: u(t) == x(t), so the expected window power can
+// be recomputed from the raw input stream without replicating the filter.
+adaptive::FxlmsEngine make_engine(std::size_t taps) {
+  std::vector<double> hse(8, 0.0);
+  hse[0] = 1.0;
+  adaptive::FxlmsOptions opts;
+  opts.causal_taps = taps / 2;
+  opts.noncausal_taps = taps - taps / 2;
+  return adaptive::FxlmsEngine(hse, opts);
+}
+
+double window_power(const std::vector<double>& u, std::size_t taps) {
+  const std::size_t n = u.size();
+  return dsp::kernels::energy(u.data() + (n - taps), taps);
+}
+
+TEST(FxlmsReferencePower, NoDriftAcrossLoudQuietRegimes) {
+  const std::size_t taps = 512;
+  auto engine = make_engine(taps);
+  Rng rng(2026);
+  std::vector<double> u;
+  u.reserve(1'100'000);
+
+  const auto push_n = [&](std::size_t count, double amplitude) {
+    for (std::size_t i = 0; i < count; ++i) {
+      // Quantize to Sample first: that is the value the engine's history
+      // stores (identity secondary path), so the reference stream must
+      // carry the same float-rounded doubles.
+      const auto x = static_cast<Sample>(rng.gaussian() * amplitude);
+      u.push_back(static_cast<double>(x));
+      engine.push_reference(x);
+    }
+  };
+
+  // Loud phase: window power ~ taps * 1e8.
+  push_n(500'000, 1e4);
+  // Quiet phase: window power ~ taps * 1e-12 — nine orders below one ULP
+  // of the loud-phase sum, so any surviving incremental residue would be
+  // off by many orders of magnitude.
+  push_n(500'000, 1e-6);
+  // Land exactly on a re-sync boundary (sync fires every `taps` pushes),
+  // where the maintained sum is a fresh kernel recompute of the window.
+  const std::size_t total = 1'000'000;
+  const std::size_t to_boundary = (taps - total % taps) % taps;
+  push_n(to_boundary == 0 ? taps : to_boundary, 1e-6);
+
+  const double expected = window_power(u, taps);
+  const double got = engine.reference_power();
+  ASSERT_GT(expected, 0.0);
+  // Same kernel, same window, evaluated from float-quantized history on
+  // both sides — only the in-window incremental updates since the last
+  // sync separate them.
+  EXPECT_NEAR(got, expected, 1e-9 * expected)
+      << "got " << got << " expected " << expected;
+}
+
+TEST(FxlmsReferencePower, TracksFromScratchSumDuringSteadyStream) {
+  const std::size_t taps = 64;
+  auto engine = make_engine(taps);
+  Rng rng(7);
+  std::vector<double> u;
+  for (std::size_t t = 0; t < 10'000; ++t) {
+    const auto x = static_cast<Sample>(rng.gaussian() * 0.3);
+    u.push_back(static_cast<double>(x));
+    engine.push_reference(x);
+    if (u.size() >= taps && t % 97 == 0) {
+      const double expected = window_power(u, taps);
+      EXPECT_NEAR(engine.reference_power(), expected,
+                  1e-9 * (expected + 1e-12))
+          << "t=" << t;
+    }
+  }
+}
+
+}  // namespace

@@ -7,8 +7,10 @@
 #   1. plain    : dev preset build + full ctest
 #   2. sanitize : asan-ubsan preset build + ctest -L sanitize
 #   3. analyze  : tools/run_static_analysis.sh (clang-tidy or fallback)
+#   4. perf     : micro_dsp hot-path benches + tools/bench_gate.py against
+#                 the committed BENCH_baseline.json (DESIGN.md §10)
 #
-# Usage: tools/ci.sh [plain|sanitize|analyze]...   (default: all three)
+# Usage: tools/ci.sh [plain|sanitize|analyze|perf]...  (default: all four)
 #
 # Every ctest run carries --timeout 900: a hung test (deadlock, runaway
 # convergence loop) fails after 15 minutes instead of wedging the job.
@@ -38,8 +40,23 @@ run_analyze() {
   tools/run_static_analysis.sh
 }
 
+# Filter shared with the perf-smoke workflow job: calibration + every
+# benchmark bench_gate.py pins (plus their other tap sizes, informational).
+BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_AdaptiveFirStep'
+
+run_perf() {
+  echo "=== job: perf smoke (bench_gate) ==="
+  cmake --preset dev
+  cmake --build --preset dev -j "$JOBS" --target micro_dsp
+  ./build-dev/bench/micro_dsp \
+    --benchmark_filter="$BENCH_FILTER" \
+    --benchmark_min_time=0.3 \
+    --json bench-current.json
+  python3 tools/bench_gate.py bench-current.json
+}
+
 if [[ $# -eq 0 ]]; then
-  set -- plain sanitize analyze
+  set -- plain sanitize analyze perf
 fi
 
 for job in "$@"; do
@@ -47,8 +64,9 @@ for job in "$@"; do
     plain) run_plain ;;
     sanitize) run_sanitize ;;
     analyze) run_analyze ;;
+    perf) run_perf ;;
     *)
-      echo "unknown job: $job (expected plain|sanitize|analyze)" >&2
+      echo "unknown job: $job (expected plain|sanitize|analyze|perf)" >&2
       exit 2
       ;;
   esac
