@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/fir_filter.hpp"
 #include "dsp/ring_history.hpp"
@@ -57,17 +58,17 @@ class FxlmsEngine {
               FxlmsOptions options);
 
   /// Feed the newest (possibly future) reference sample x(t+N).
-  void push_reference(Sample x_advanced);
+  MUTE_RT_SAFE void push_reference(Sample x_advanced);
 
   /// Anti-noise output for the current instant t.
-  Sample compute_antinoise() const;
+  MUTE_RT_SAFE Sample compute_antinoise() const;
 
   /// NLMS-normalized gradient step from the observed error e(t).
-  void adapt(Sample error);
+  MUTE_RT_SAFE void adapt(Sample error);
 
   /// push + compute in one call (adapt still separate — the error for time
   /// t only exists after the simulator mixes the anti-noise acoustically).
-  Sample step_output(Sample x_advanced);
+  MUTE_RT_SAFE Sample step_output(Sample x_advanced);
 
   std::size_t total_taps() const { return w_.size(); }
   std::size_t noncausal_taps() const { return opts_.noncausal_taps; }
@@ -75,7 +76,7 @@ class FxlmsEngine {
 
   /// Weight vector ordered [w_{-N} ... w_{-1}, w_0, ..., w_{L-1}].
   const std::vector<double>& weights() const { return w_; }
-  void set_weights(std::span<const double> w);
+  MUTE_RT_UNSAFE void set_weights(std::span<const double> w);
 
   /// Current weight L2 norm (maintained incrementally by adapt()).
   double weight_norm() const;
@@ -110,15 +111,15 @@ class FxlmsEngine {
   /// rollback snapshot (a shift only drops taps, so the norm cannot grow)
   /// and the signal history is cleared — it belongs to the old relay's
   /// stream. Control-plane: allocates; never call from per-sample code.
-  void retarget_noncausal(std::size_t new_noncausal,
-                          std::ptrdiff_t weight_shift);
+  MUTE_RT_UNSAFE void retarget_noncausal(std::size_t new_noncausal,
+                                         std::ptrdiff_t weight_shift);
 
   /// Adjust the step size at run time (step-size scheduling: converge
   /// fast, then settle to a low-misadjustment step).
   void set_mu(double mu);
 
   /// Replace the secondary-path estimate (e.g. after recalibration).
-  void set_secondary_path(std::vector<double> secondary_path_estimate);
+  MUTE_RT_UNSAFE void set_secondary_path(std::vector<double> secondary_path_estimate);
   const std::vector<double>& secondary_path() const;
 
   /// Clear signal history but keep weights (used at profile switches).

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "adaptive/fxlms.hpp"
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/fir_filter.hpp"
 #include "dsp/ring_history.hpp"
@@ -37,16 +38,16 @@ class MultiFxlmsEngine {
 
   /// Feed the newest advanced sample of every reference (size must equal
   /// channel_count()).
-  void push_references(std::span<const Sample> x_advanced);
+  MUTE_RT_SAFE void push_references(std::span<const Sample> x_advanced);
 
   /// Anti-noise output for the current instant.
-  Sample compute_antinoise() const;
+  MUTE_RT_SAFE Sample compute_antinoise() const;
 
   /// Joint NLMS update from the shared error microphone.
-  void adapt(Sample error);
+  MUTE_RT_SAFE void adapt(Sample error);
 
   /// push + compute in one call.
-  Sample step_output(std::span<const Sample> x_advanced);
+  MUTE_RT_SAFE Sample step_output(std::span<const Sample> x_advanced);
 
   const std::vector<double>& weights(std::size_t channel) const;
   void reset();

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/ring_history.hpp"
 
@@ -28,21 +29,22 @@ class AdaptiveFir {
 
   /// Push the newest input sample and return the current prediction
   /// y(t) = w · [x(t), x(t-1), ...].
-  Sample predict(Sample x);
+  MUTE_RT_SAFE Sample predict(Sample x);
 
   /// Adapt toward desired d(t) for the most recent prediction; returns the
   /// a-priori error d - y.
-  Sample update(Sample desired);
+  MUTE_RT_SAFE Sample update(Sample desired);
 
   /// Convenience: predict + update in one call.
-  Sample step(Sample x, Sample desired);
+  MUTE_RT_SAFE Sample step(Sample x, Sample desired);
 
   /// Identify a whole record: runs step() over the pair of signals and
   /// returns the error sequence.
-  Signal identify(std::span<const Sample> x, std::span<const Sample> d);
+  MUTE_RT_UNSAFE Signal identify(std::span<const Sample> x,
+                                 std::span<const Sample> d);
 
   const std::vector<double>& weights() const { return w_; }
-  void set_weights(std::span<const double> w);
+  MUTE_RT_UNSAFE void set_weights(std::span<const double> w);
   void reset();
 
   std::size_t tap_count() const { return w_.size(); }

@@ -7,6 +7,7 @@
 
 #include "audio/source.hpp"
 #include "common/rng.hpp"
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/biquad.hpp"
 
@@ -16,7 +17,9 @@ namespace mute::audio {
 class WhiteNoiseSource final : public SoundSource {
  public:
   WhiteNoiseSource(double rms_amplitude, std::uint64_t seed);
-  void render(std::span<Sample> out) override;
+  /// Allocation-free: the MuteDevice calibration tick renders one sample
+  /// per audio tick through this on the RT surface.
+  MUTE_RT_SAFE void render(std::span<Sample> out) override;
   void reset() override;
   std::string name() const override { return "white_noise"; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "common/rt_annotations.hpp"
+
 /// Runtime contracts for the audio hot path.
 ///
 /// MUTE's pipeline has a hard per-tick deadline: the LANC controller must
@@ -41,6 +43,9 @@ namespace mute {
 namespace detail {
 
 /// Prints `[kind] file:line: expr: msg` to stderr and aborts.
+MUTE_RT_ESCAPE(
+    "contract-abort path: fprintf+abort runs only when the process is "
+    "already dying on a failed MUTE_ASSERT/MUTE_CHECK_FINITE")
 [[noreturn]] void contract_failure(const char* kind, const char* expr,
                                    const char* msg, const char* file,
                                    int line) noexcept;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/rt_annotations.hpp"
+
 namespace mute {
 
 /// Thrown when a caller violates a documented precondition.
@@ -24,6 +26,10 @@ class InvariantError : public std::logic_error {
 /// every audio tick, and a `const std::string&` parameter would build a
 /// heap-allocated temporary per call even on the success path. The message
 /// is only materialized when the check actually fails.
+MUTE_RT_ESCAPE(
+    "precondition failure path: the throw (and its string build) only runs "
+    "when the caller already violated a documented contract and the tick is "
+    "lost either way; the success path is branch-only")
 inline void ensure(bool condition, const char* what,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) [[unlikely]] {
@@ -32,6 +38,9 @@ inline void ensure(bool condition, const char* what,
 }
 
 /// Validate an internal invariant; throws InvariantError on failure.
+MUTE_RT_ESCAPE(
+    "invariant failure path: throws only on a library bug; the success path "
+    "is branch-only")
 inline void invariant(bool condition, const char* what,
                       std::source_location loc = std::source_location::current()) {
   if (!condition) [[unlikely]] {

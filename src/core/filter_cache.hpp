@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
+
 namespace mute::core {
 
 /// Cache key for a converged weight vector: which relay the filter was
@@ -53,13 +55,14 @@ struct FilterCacheKeyHash {
 class FilterCache {
  public:
   /// Save (overwrite) the weights for a (relay, profile) pair.
-  void store(FilterCacheKey key, std::span<const double> weights) {
+  MUTE_RT_UNSAFE void store(FilterCacheKey key, std::span<const double> weights) {
     cache_[key].assign(weights.begin(), weights.end());
   }
 
   /// Retrieve the cached weights, if this pair has been seen before. See
   /// the class comment for the returned span's lifetime contract.
-  std::optional<std::span<const double>> load(FilterCacheKey key) const {
+  MUTE_RT_SAFE std::optional<std::span<const double>> load(
+      FilterCacheKey key) const {
     const auto it = cache_.find(key);
     if (it == cache_.end()) return std::nullopt;
     return std::span<const double>(it->second);
@@ -70,7 +73,7 @@ class FilterCache {
   /// Drop every profile entry learned against one relay (e.g. after its
   /// link proved chronically faulty — entries adapted on a bad link are
   /// not worth preloading).
-  std::size_t erase_relay(std::size_t relay) {
+  MUTE_RT_UNSAFE std::size_t erase_relay(std::size_t relay) {
     std::size_t erased = 0;
     for (auto it = cache_.begin(); it != cache_.end();) {
       if (it->first.relay == relay) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "adaptive/fxlms.hpp"
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "core/filter_cache.hpp"
 #include "core/profile.hpp"
@@ -54,20 +55,20 @@ class LancController {
 
   /// Push the newest advanced reference sample, run profiling, and return
   /// the anti-noise sample for the current instant.
-  Sample tick(Sample x_advanced);
+  MUTE_RT_SAFE Sample tick(Sample x_advanced);
 
   /// Feed back the error microphone sample for the tick just played.
   /// Ignored while holding (adaptation is frozen, mu -> 0 equivalent).
-  void observe_error(Sample error);
+  MUTE_RT_SAFE void observe_error(Sample error);
 
   /// Graceful degradation on a flagged reference link: freeze adaptation
   /// and profiling, and ramp the anti-noise output toward zero so the ear
   /// is never louder than passive. tick() must keep being called (with the
   /// sanitized reference) so the ramp and the engine history advance.
-  void hold();
+  MUTE_RT_SAFE void hold();
 
   /// Link is healthy again: re-enable adaptation and ramp the output back.
-  void resume();
+  MUTE_RT_SAFE void resume();
 
   /// Warm-standby handoff: re-target the controller to a different relay
   /// without discarding the converged filter. In order:
@@ -85,8 +86,10 @@ class LancController {
   /// window watched the old relay's stream). Control-plane: allocates.
   /// After a retarget the caller must keep tick()ing so the fresh history
   /// refills; pair with hold()/resume() to mute the refill transient.
-  void retarget(std::size_t new_relay, std::size_t new_noncausal_taps,
-                std::ptrdiff_t advance_shift_samples, bool outgoing_flagged);
+  MUTE_RT_UNSAFE void retarget(std::size_t new_relay,
+                               std::size_t new_noncausal_taps,
+                               std::ptrdiff_t advance_shift_samples,
+                               bool outgoing_flagged);
 
   /// The relay index used for filter-cache keying (see retarget()).
   std::size_t relay() const { return relay_; }
@@ -110,7 +113,14 @@ class LancController {
   void reset();
 
  private:
+  MUTE_RT_ESCAPE(
+      "predictive profiling hop: amortized control-plane work (signature\n"
+      "extraction + classification every profile_hop samples) the design\n"
+      "knowingly runs on the audio thread; DESIGN.md \u00a711")
   void run_profiler(Sample x_advanced);
+  MUTE_RT_ESCAPE(
+      "profile-switch landing: cache store/load + weight swap, runs once\n"
+      "per confirmed profile transition, not per sample; DESIGN.md \u00a711")
   void apply_pending_switch();
 
   LancOptions opts_;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 
 namespace mute::core {
@@ -72,7 +73,7 @@ class LinkMonitor {
   LinkMonitor(const LinkMonitorOptions& options, double sample_rate);
 
   /// Push one received-reference sample; returns the sanitized sample.
-  Sample process(Sample x);
+  MUTE_RT_SAFE Sample process(Sample x);
 
   bool healthy() const { return healthy_; }
   /// Flags of the current (or, when healthy, most recent) fault episode.

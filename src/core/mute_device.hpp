@@ -7,6 +7,7 @@
 
 #include "adaptive/sysid.hpp"
 #include "audio/generators.hpp"
+#include "common/rt_annotations.hpp"
 #include "core/lanc.hpp"
 #include "core/link_monitor.hpp"
 #include "core/relay_select.hpp"
@@ -103,7 +104,8 @@ class MuteDevice {
   explicit MuteDevice(MuteDeviceConfig config);
 
   /// One audio tick; returns the sample for the anti-noise speaker.
-  Sample tick(std::span<const Sample> relay_samples, Sample error_sample);
+  MUTE_RT_SAFE Sample tick(std::span<const Sample> relay_samples,
+                           Sample error_sample);
 
   State state() const { return state_; }
   std::optional<std::size_t> active_relay() const { return active_relay_; }
@@ -143,13 +145,31 @@ class MuteDevice {
 
   Sample tick_impl(std::span<const Sample> relay_samples,
                    Sample error_sample);
+  MUTE_RT_ESCAPE(
+      "end of calibration: sysid batch solve + LANC construction, runs "
+      "exactly once per power-up, not per sample; DESIGN.md \u00a711")
   void finish_calibration();
+  MUTE_RT_ESCAPE(
+      "selection-round landing: runs once per selection_period_s (1 s "
+      "default), re-ranks relays and may re-associate; DESIGN.md \u00a711")
   void handle_selection(const RelaySelection& selection);
+  MUTE_RT_ESCAPE(
+      "standby-list refresh inside a selection round (copies the ranked "
+      "vector); same once-per-period cadence as handle_selection")
   void update_standby(const RelaySelection& selection);
   std::optional<RelayMeasurement> pick_standby() const;
   bool relay_healthy(std::size_t relay) const;
+  MUTE_RT_ESCAPE(
+      "association transition (new/retargeted LANC controller); runs on "
+      "state changes only, paired with hold/fade on the audio side")
   void associate(const RelayMeasurement& chosen);
+  MUTE_RT_ESCAPE(
+      "warm-standby handoff transition: cache store/load + weight remap, "
+      "runs once per failover, not per sample")
   void begin_handoff(const RelayMeasurement& target);
+  MUTE_RT_ESCAPE(
+      "association teardown on hold timeout / sustained adverse evidence; "
+      "runs on state transitions only, not per sample")
   void drop_association();
   bool note_adverse_round(AdverseCause cause, std::size_t rival);
   void reset_adverse();

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "core/gcc_phat.hpp"
 
@@ -57,6 +58,11 @@ class RelaySelector {
 
   /// Push one synchronized sample per relay plus the error-mic sample.
   /// Returns a fresh selection when a period completes, nullopt otherwise.
+  MUTE_RT_ESCAPE(
+      "selection capture: appends into reserve()d period buffers per tick "
+      "and runs a full GCC-PHAT selection round once per period_s; the "
+      "periodic round is amortized control-plane work the design knowingly "
+      "runs on the audio thread (DESIGN.md \u00a711)")
   std::optional<RelaySelection> push(std::span<const Sample> relay_samples,
                                      Sample error_mic_sample);
 

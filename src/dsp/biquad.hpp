@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 
 namespace mute::dsp {
@@ -26,7 +27,7 @@ class Biquad {
   static Biquad high_shelf(double freq_hz, double q, double gain_db,
                            double sample_rate);
 
-  Sample process(Sample x);
+  MUTE_RT_SAFE Sample process(Sample x);
   void process(std::span<const Sample> in, std::span<Sample> out);
   void reset();
 
@@ -46,11 +47,11 @@ class BiquadCascade {
   BiquadCascade() = default;
   explicit BiquadCascade(std::vector<Biquad> sections);
 
-  void push_section(Biquad section);
+  MUTE_RT_UNSAFE void push_section(Biquad section);
 
-  Sample process(Sample x);
+  MUTE_RT_SAFE Sample process(Sample x);
   void process(std::span<const Sample> in, std::span<Sample> out);
-  Signal filter(std::span<const Sample> in);
+  MUTE_RT_UNSAFE Signal filter(std::span<const Sample> in);
   void reset();
 
   Complex response(double freq_hz, double sample_rate) const;

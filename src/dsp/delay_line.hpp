@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/fir_design.hpp"
 #include "dsp/fir_filter.hpp"
@@ -19,7 +20,7 @@ class DelayLine {
   explicit DelayLine(std::size_t delay_samples)
       : buffer_(delay_samples, 0.0f) {}
 
-  Sample process(Sample x) {
+  MUTE_RT_SAFE Sample process(Sample x) {
     MUTE_CHECK_FINITE(x, "delay line input sample");
     MUTE_RT_SCOPE("DelayLine::process");
     if (buffer_.empty()) return x;
@@ -58,7 +59,9 @@ class FractionalDelay {
     ensure(delay_samples >= 0.0, "delay must be non-negative");
   }
 
-  Sample process(Sample x) { return fine_.process(coarse_.process(x)); }
+  MUTE_RT_SAFE Sample process(Sample x) {
+    return fine_.process(coarse_.process(x));
+  }
 
   void reset() {
     coarse_.reset();

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "dsp/ring_history.hpp"
 
@@ -19,7 +20,7 @@ class FirFilter {
   explicit FirFilter(std::vector<double> coefficients);
 
   /// Process one sample.
-  Sample process(Sample x);
+  MUTE_RT_SAFE Sample process(Sample x);
 
   /// Process a block (in == out sizes). Runs tap-major over the kernel
   /// layer (kernels::scaled_accumulate on contiguous slices) rather than
@@ -32,7 +33,7 @@ class FirFilter {
   void process(std::span<const Sample> in, std::span<Sample> out);
 
   /// Convenience: filter a whole signal, same length as input.
-  Signal filter(std::span<const Sample> in);
+  MUTE_RT_UNSAFE Signal filter(std::span<const Sample> in);
 
   /// Clear internal history (coefficients retained).
   void reset();

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "common/rt_annotations.hpp"
+
 /// Shared hot-path DSP kernels.
 ///
 /// Every per-sample loop in the adaptive engines and the FIR filter funnels
@@ -31,11 +33,12 @@
 /// n == 0 is valid (returns 0 / does nothing).
 namespace mute::dsp::kernels {
 
-double dot(const double* a, const double* b, std::size_t n);
-double energy(const double* x, std::size_t n);
-double axpy_leaky_norm(double* w, const double* x, double keep, double g,
-                       std::size_t n);
-void scaled_accumulate(double* acc, const double* x, double s, std::size_t n);
+MUTE_RT_SAFE double dot(const double* a, const double* b, std::size_t n);
+MUTE_RT_SAFE double energy(const double* x, std::size_t n);
+MUTE_RT_SAFE double axpy_leaky_norm(double* w, const double* x, double keep,
+                                    double g, std::size_t n);
+MUTE_RT_SAFE void scaled_accumulate(double* acc, const double* x, double s,
+                                    std::size_t n);
 
 /// Reference implementations: textbook single-accumulator loops, kept for
 /// equivalence testing and as the documentation of record for the kernel

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rt_annotations.hpp"
 
 namespace mute::dsp {
 
@@ -29,7 +30,7 @@ class RingBuffer {
   bool full() const { return size() == capacity(); }
 
   /// Push one element; returns false (drops) when full.
-  bool push(const T& value) {
+  MUTE_RT_SAFE bool push(const T& value) {
     if (full()) return false;
     storage_[write_] = value;
     write_ = (write_ + 1) % storage_.size();
@@ -47,7 +48,7 @@ class RingBuffer {
   }
 
   /// Pop one element; precondition: !empty().
-  T pop() {
+  MUTE_RT_SAFE T pop() {
     ensure(!empty(), "pop from empty ring buffer");
     T v = storage_[read_];
     read_ = (read_ + 1) % storage_.size();
@@ -56,7 +57,7 @@ class RingBuffer {
 
   /// Peek at the element `offset` positions from the read head
   /// (0 == oldest). Precondition: offset < size().
-  const T& peek(std::size_t offset = 0) const {
+  MUTE_RT_SAFE const T& peek(std::size_t offset = 0) const {
     ensure(offset < size(), "peek beyond buffered data");
     return storage_[(read_ + offset) % storage_.size()];
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rt_annotations.hpp"
 
 namespace mute::dsp {
 
@@ -35,7 +36,7 @@ class RingHistory {
   explicit RingHistory(std::size_t length) { assign(length, T{}); }
 
   /// O(1), allocation-free: drop the oldest sample, admit `v` as newest.
-  void push(T v) {
+  MUTE_RT_SAFE void push(T v) {
     head_ = (head_ == 0) ? len_ - 1 : head_ - 1;
     buf_[head_] = v;
     buf_[head_ + len_] = v;
@@ -54,7 +55,7 @@ class RingHistory {
   void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
 
   /// Resize and refill. Control-plane only: allocates.
-  void assign(std::size_t length, T v) {
+  MUTE_RT_UNSAFE void assign(std::size_t length, T v) {
     ensure(length >= 1, "ring history length must be >= 1");
     len_ = length;
     head_ = 0;
@@ -78,7 +79,7 @@ class FrameHistory {
   explicit FrameHistory(std::size_t length) { assign(length, T{}); }
 
   /// O(1), allocation-free: drop the oldest sample, append `v` as newest.
-  void push(T v) {
+  MUTE_RT_SAFE void push(T v) {
     buf_[head_] = v;
     buf_[head_ + len_] = v;
     head_ = (head_ + 1 == len_) ? 0 : head_ + 1;
@@ -95,7 +96,7 @@ class FrameHistory {
   void fill(T v) { std::fill(buf_.begin(), buf_.end(), v); }
 
   /// Resize and refill. Control-plane only: allocates.
-  void assign(std::size_t length, T v) {
+  MUTE_RT_UNSAFE void assign(std::size_t length, T v) {
     ensure(length >= 1, "frame history length must be >= 1");
     len_ = length;
     head_ = 0;

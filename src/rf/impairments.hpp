@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 #include "rf/rf_channel.hpp"
 
@@ -85,7 +86,7 @@ class FaultInjector {
   FaultInjector(FaultSchedule schedule, RfChannelParams channel_params,
                 double sample_rate, std::uint64_t seed);
 
-  Complex process(Complex x);
+  MUTE_RT_SAFE Complex process(Complex x);
   ComplexSignal process(std::span<const Complex> x);
 
   /// Rewind to stream time zero (also resets the wrapped channel).

@@ -1,0 +1,22 @@
+// rt-lint fixture: heap allocation inside an MUTE_RT_SAFE function.
+// The gate must FAIL this TU (construct: operator-new, container-growth).
+#include <vector>
+
+#include "common/rt_annotations.hpp"
+
+namespace fixture {
+
+class AllocatingFilter {
+ public:
+  MUTE_RT_SAFE double process(double x) {
+    auto* boxed = new double(x);          // direct operator new
+    history_.push_back(*boxed);           // vector growth on the hot path
+    delete boxed;
+    return history_.back();
+  }
+
+ private:
+  std::vector<double> history_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// rt-lint fixture: mutex acquisition inside an MUTE_RT_SAFE function.
+// The gate must FAIL this TU (construct: lock).
+#include <mutex>
+
+#include "common/rt_annotations.hpp"
+
+namespace fixture {
+
+class LockingFilter {
+ public:
+  MUTE_RT_SAFE double process(double x) {
+    std::lock_guard<std::mutex> guard(mu_);
+    state_ += x;
+    return state_;
+  }
+
+ private:
+  std::mutex mu_;
+  double state_ = 0.0;
+};
+
+}  // namespace fixture

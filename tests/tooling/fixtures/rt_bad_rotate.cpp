@@ -1,0 +1,24 @@
+// rt-lint fixture: std::rotate inside an MUTE_RT_SAFE function — the
+// O(length)-per-sample history shift the doubled-buffer RingHistory exists
+// to forbid (DESIGN.md §10). The gate must FAIL this TU (construct:
+// std-rotate).
+#include <algorithm>
+#include <array>
+
+#include "common/rt_annotations.hpp"
+
+namespace fixture {
+
+class RotatingFilter {
+ public:
+  MUTE_RT_SAFE double process(double x) {
+    std::rotate(taps_.begin(), taps_.begin() + 1, taps_.end());
+    taps_.back() = x;
+    return taps_.front();
+  }
+
+ private:
+  std::array<double, 8> taps_{};
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// rt-lint fixture: the MUTE_RT_SAFE root is clean, but a plain helper it
+// calls throws — proving the gate walks the call graph instead of only
+// scanning annotated bodies. The gate must FAIL this TU (construct: throw,
+// inside validate_gain reached via process).
+#include <stdexcept>
+
+#include "common/rt_annotations.hpp"
+
+namespace fixture {
+
+inline double validate_gain(double g) {
+  if (g < 0.0) throw std::invalid_argument("negative gain");
+  return g;
+}
+
+class TransitivelyBadFilter {
+ public:
+  MUTE_RT_SAFE double process(double x) { return validate_gain(gain_) * x; }
+
+ private:
+  double gain_ = 1.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// rt-lint fixture: an MUTE_RT_SAFE function calls a function annotated
+// MUTE_RT_UNSAFE. Even though the unsafe body looks harmless today, the
+// annotation declares it control-plane, so the call must FAIL the gate
+// (construct: rt-unsafe-call).
+#include <cstddef>
+
+#include "common/rt_annotations.hpp"
+
+namespace fixture {
+
+class FencedFilter {
+ public:
+  MUTE_RT_SAFE double process(double x) {
+    refresh_coefficients(1);   // violation: RT surface -> control plane
+    return x;
+  }
+
+  MUTE_RT_UNSAFE void refresh_coefficients(std::size_t taps) { taps_ = taps; }
+
+ private:
+  std::size_t taps_ = 0;
+};
+
+}  // namespace fixture

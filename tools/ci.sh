@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Local CI pipeline — the three gating jobs of .github/workflows/ci.yml
-# (the workflow's extra failover-smoke job is reporting-only and runs the
+# Local CI pipeline — the gating jobs of .github/workflows/ci.yml (the
+# workflow's extra failover-smoke job is reporting-only and runs the
 # bench/failover table as a per-push artifact), runnable on any machine
 # with the base toolchain:
 #
 #   1. plain    : dev preset build + full ctest
 #   2. sanitize : asan-ubsan preset build + ctest -L sanitize
-#   3. analyze  : tools/run_static_analysis.sh (clang-tidy or fallback)
-#   4. perf     : micro_dsp hot-path benches + tools/bench_gate.py against
+#   3. tsan     : tsan preset build + ctest -L sanitize — the race gate for
+#                 sim/parallel_sweep and the work-stealing pool
+#   4. analyze  : tools/run_static_analysis.sh (clang-tidy or fallback,
+#                 plus the rt-lint RT-safety gate)
+#   5. perf     : micro_dsp hot-path benches + tools/bench_gate.py against
 #                 the committed BENCH_baseline.json (DESIGN.md §10)
 #
-# Usage: tools/ci.sh [plain|sanitize|analyze|perf]...  (default: all four)
+# `rt-lint` is also available standalone (subset of analyze): it re-runs
+# only the static RT-safety gate, seconds instead of a full tidy sweep.
+#
+# Usage: tools/ci.sh [plain|sanitize|tsan|analyze|rt-lint|perf]...
+#        (default: plain sanitize tsan analyze perf)
 #
 # Every ctest run carries --timeout 900: a hung test (deadlock, runaway
 # convergence loop) fails after 15 minutes instead of wedging the job.
@@ -35,9 +42,21 @@ run_sanitize() {
   ctest --preset asan-ubsan -j "$JOBS" --timeout 900
 }
 
+run_tsan() {
+  echo "=== job: tsan build + ctest -L sanitize ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan -j "$JOBS" --timeout 900
+}
+
 run_analyze() {
-  echo "=== job: static analysis ==="
+  echo "=== job: static analysis (incl. rt-lint) ==="
   tools/run_static_analysis.sh
+}
+
+run_rt_lint() {
+  echo "=== job: rt-lint (static RT-safety gate) ==="
+  tools/run_static_analysis.sh --rt-lint-only
 }
 
 # Filter shared with the perf-smoke workflow job: calibration + every
@@ -56,17 +75,20 @@ run_perf() {
 }
 
 if [[ $# -eq 0 ]]; then
-  set -- plain sanitize analyze perf
+  set -- plain sanitize tsan analyze perf
 fi
 
 for job in "$@"; do
   case "$job" in
     plain) run_plain ;;
     sanitize) run_sanitize ;;
+    tsan) run_tsan ;;
     analyze) run_analyze ;;
+    rt-lint) run_rt_lint ;;
     perf) run_perf ;;
     *)
-      echo "unknown job: $job (expected plain|sanitize|analyze|perf)" >&2
+      echo "unknown job: $job" \
+        "(expected plain|sanitize|tsan|analyze|rt-lint|perf)" >&2
       exit 2
       ;;
   esac
