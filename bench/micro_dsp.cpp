@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "core/gcc_phat.hpp"
 #include "core/lanc.hpp"
+#include "core/shadow_filter.hpp"
 #include "dsp/convolution.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir_filter.hpp"
@@ -266,6 +267,31 @@ void BM_FxlmsCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FxlmsCycle)->Arg(256)->Arg(1024)->Arg(2048);
+
+// The shadow pre-convergence per-sample budget: every sample pushes the
+// standby's reference into the shadow history, every adapt_stride-th pays
+// the O(taps) predict+adapt. This rides on top of the active LANC tick, so
+// its amortized cost must stay a small fraction of BM_LancTick.
+void BM_ShadowObserve(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  adaptive::FxlmsOptions opts;
+  opts.causal_taps = taps / 2;
+  opts.noncausal_taps = taps - taps / 2;
+  core::ShadowFilter shadow(opts, core::ShadowFilterOptions{});
+  shadow.assign(/*relay=*/1, opts.noncausal_taps, /*lookahead_s=*/0.004);
+  Rng rng(11);
+  std::vector<Sample> xs(4096), ys(4096);
+  for (auto& v : xs) v = static_cast<Sample>(rng.gaussian(0.1));
+  for (auto& v : ys) v = static_cast<Sample>(rng.gaussian(0.1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    shadow.observe(xs[i], ys[i]);
+    i = (i + 1 == xs.size()) ? 0 : i + 1;
+    benchmark::DoNotOptimize(shadow.update_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowObserve)->Arg(704);
 
 // LMS predict+update per-sample cycle (system identification hot loop).
 void BM_AdaptiveFirStep(benchmark::State& state) {

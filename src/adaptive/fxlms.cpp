@@ -122,6 +122,17 @@ void FxlmsEngine::set_weights(std::span<const double> w) {
   }
 }
 
+void FxlmsEngine::prime_history(std::span<const double> x_newest_first) {
+  reset_history();  // the secondary-path filter must start from zero state
+  // push_reference wants oldest-first arrival order; the span is
+  // newest-first. Replaying through the real push keeps every derived
+  // quantity (u history, u_power_, sync counter) consistent by
+  // construction instead of duplicating the bookkeeping here.
+  for (std::size_t i = x_newest_first.size(); i-- > 0;) {
+    push_reference(static_cast<Sample>(x_newest_first[i]));
+  }
+}
+
 double FxlmsEngine::weight_norm() const { return std::sqrt(w_norm2_); }
 
 void FxlmsEngine::restore_snapshot() {

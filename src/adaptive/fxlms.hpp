@@ -78,6 +78,22 @@ class FxlmsEngine {
   const std::vector<double>& weights() const { return w_; }
   MUTE_RT_UNSAFE void set_weights(std::span<const double> w);
 
+  /// The reference window the weights currently see, newest-first (window
+  /// index i holds x(t - (i - N))), length total_taps(). Lets a shadow
+  /// filter hand its signal context to the engine it pre-converged for.
+  std::span<const double> reference_window() const {
+    return {x_hist_.data(), w_.size()};
+  }
+
+  /// Replay a newest-first reference window through push_reference() so
+  /// the x/u histories, the secondary-path filter state, and the NLMS
+  /// power term all match what they would be had this engine streamed the
+  /// samples itself. Pair with set_weights() to install a shadow filter's
+  /// converged state: weights without their history would multiply stale
+  /// zeros for total_taps() ticks — exactly the re-acquisition gap the
+  /// shadow exists to remove. Control-plane only.
+  MUTE_RT_UNSAFE void prime_history(std::span<const double> x_newest_first);
+
   /// Current weight L2 norm (maintained incrementally by adapt()).
   double weight_norm() const;
   /// Filtered-reference window power ||u||^2 — the NLMS denominator.

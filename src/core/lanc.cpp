@@ -106,6 +106,19 @@ void LancController::retarget(std::size_t new_relay,
   relay_ = new_relay;
 }
 
+void LancController::install_converged(
+    std::span<const double> weights, std::span<const double> x_newest_first) {
+  ensure(weights.size() == engine_.total_taps(),
+         "converged weights must match the engine's tap layout");
+  ensure(x_newest_first.size() == engine_.total_taps(),
+         "reference window must match the engine's tap layout");
+  // set_weights adopts the vector as the rollback snapshot when it sits
+  // inside the guard band, so a later hold() keeps the install.
+  engine_.set_weights(weights);
+  engine_.prime_history(x_newest_first);
+  cache_.store({relay_, current_profile_}, weights);
+}
+
 void LancController::run_profiler(Sample x_advanced) {
   // Rolling frame of the advanced stream (O(1) push, contiguous window).
   frame_buffer_.push(x_advanced);

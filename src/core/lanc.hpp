@@ -91,6 +91,18 @@ class LancController {
                                std::ptrdiff_t advance_shift_samples,
                                bool outgoing_flagged);
 
+  /// Install a shadow-pre-converged filter after a retarget(): weights AND
+  /// the reference window they converged against (newest-first, both sized
+  /// engine().total_taps()). The history priming is what removes the
+  /// re-acquisition gap — weights over a zeroed delay line output nothing
+  /// for total_taps ticks. The installed weights are also stored under the
+  /// (relay(), current profile) cache key: they are the best converged
+  /// state known for this relay. Call AFTER hold() — hold()'s snapshot
+  /// rollback would otherwise clobber the install. Control-plane work.
+  MUTE_RT_UNSAFE void install_converged(
+      std::span<const double> weights,
+      std::span<const double> x_newest_first);
+
   /// The relay index used for filter-cache keying (see retarget()).
   std::size_t relay() const { return relay_; }
   void set_relay(std::size_t relay) { relay_ = relay; }

@@ -29,8 +29,12 @@ MuteDevice::MuteDevice(MuteDeviceConfig config)
     }
     sanitized_.assign(config.relay_count, 0.0f);
   }
+  ensure(config.shadow_fast_handoff_s >= 0,
+         "shadow fast-handoff wait must be >= 0");
   hold_timeout_samples_ = static_cast<std::size_t>(
       config.hold_timeout_s * config.sample_rate);
+  shadow_fast_samples_ = static_cast<std::size_t>(
+      config.shadow_fast_handoff_s * config.sample_rate);
   standby_max_age_samples_ = static_cast<std::size_t>(
       config.standby_max_age_s * config.sample_rate);
   standby_.reserve(config.relay_count);
@@ -54,6 +58,7 @@ Sample MuteDevice::tick(std::span<const Sample> relay_samples,
              gap_start_tick_ > 0) {
     last_gap_s_ = static_cast<double>(tick_count_ - gap_start_tick_) /
                   config_.sample_rate;
+    max_gap_s_ = std::max(max_gap_s_, last_gap_s_);
   }
   if (!standby_.empty() && ++standby_age_ > standby_max_age_samples_) {
     standby_.clear();  // measurements this old are guesses, not a ranking
@@ -133,10 +138,18 @@ Sample MuteDevice::tick_impl(std::span<const Sample> relay_samples,
       // push misaligns the gradient by one sample — 180 degrees of phase
       // at Nyquist, enough to destabilize the loop.
       lanc_->observe_error(error_sample);
-      return lanc_->tick(feed[*active_relay_]);
+      const Sample y = lanc_->tick(feed[*active_relay_]);
+      // Steady running is the only state whose speaker feed is a
+      // trainable shadow target (elsewhere it is fading or refilling).
+      shadow_observe(feed, y);
+      return y;
     }
 
     case State::kHolding: {
+      // Keep the shadow's reference window contiguous with the live
+      // stream (no adaptation: the fading output is not a target). An
+      // install during this hold must be sample-aligned with the feed.
+      shadow_track(feed);
       // Selection keeps buffering on the sanitized feeds (the dead relay
       // reads as silence and cannot win a round). With the anti-noise
       // faded out the ear hears the full ambient field, so rounds that
@@ -170,7 +183,19 @@ Sample MuteDevice::tick_impl(std::span<const Sample> relay_samples,
         lanc_->observe_error(error_sample);
         return lanc_->tick(feed[*active_relay_]);
       }
-      if (++hold_elapsed_ >= hold_timeout_samples_) {
+      ++hold_elapsed_;
+      if (config_.enable_handoff && hold_elapsed_ >= shadow_fast_samples_) {
+        // Shadow fast path: with a converged filter already standing by
+        // for a ranked, healthy standby, waiting out hold_timeout_s buys
+        // nothing — that wait amortizes a COLD re-acquisition. Give the
+        // link shadow_fast_handoff_s to shake off a micro-dropout, then
+        // hand over.
+        if (const auto target = shadow_handoff_candidate()) {
+          begin_handoff(*target);
+          return lanc_->tick(feed[*active_relay_]);
+        }
+      }
+      if (hold_elapsed_ >= hold_timeout_samples_) {
         // The link did not come back. A warm standby (confident positive
         // lookahead, link currently healthy) takes over without a
         // kListening round trip; with none — or handoff disabled — drop
@@ -189,6 +214,7 @@ Sample MuteDevice::tick_impl(std::span<const Sample> relay_samples,
     }
 
     case State::kHandoff: {
+      shadow_track(feed);
       // The association is already re-targeted; the held controller's
       // history refills with the new relay's stream (one sample per tick,
       // total_taps ticks). Selection rounds keep the standby list fresh
@@ -306,9 +332,84 @@ void MuteDevice::update_standby(const RelaySelection& selection) {
   if (selection.ranked.empty()) return;
   standby_ = selection.ranked;
   standby_age_ = 0;
+  refresh_shadow_target();
+}
+
+void MuteDevice::refresh_shadow_target() {
+  if (!config_.enable_shadow || !shadow_.has_value() ||
+      !active_relay_.has_value()) {
+    return;
+  }
+  // Score every ranked rival and give the shadow budget to the best one.
+  // Lookahead saturates at the tap cap (leads beyond it buy no taps), so
+  // the score credits lead only up to that point — see standby_score().
+  const double needed = config_.latency.total_s() +
+                        static_cast<double>(config_.max_noncausal_taps) /
+                            config_.sample_rate;
+  const RelayMeasurement* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& m : standby_) {
+    if (m.relay_index == *active_relay_) continue;
+    if (!relay_healthy(m.relay_index)) continue;
+    const double score = standby_score(m, needed);
+    if (score > best_score) {
+      best_score = score;
+      best = &m;
+    }
+  }
+  if (best == nullptr) return;  // nobody qualifies; keep the old target
+  shadow_->assign(best->relay_index, taps_for_lookahead(best->lookahead_s),
+                  best->lookahead_s);
+}
+
+void MuteDevice::shadow_observe(std::span<const Sample> feed, Sample y) {
+  if (!shadow_.has_value() || !shadow_->has_target()) return;
+  const std::size_t target = shadow_->relay();
+  if (active_relay_.has_value() && target == *active_relay_) return;
+  // A flagged standby's feed is squelched zeros — neither push nor adapt
+  // on it (a window of zeros would erase the accumulated convergence).
+  if (!relay_healthy(target)) return;
+  shadow_->observe(feed[target], y);
+}
+
+void MuteDevice::shadow_track(std::span<const Sample> feed) {
+  if (!shadow_.has_value() || !shadow_->has_target()) return;
+  const std::size_t target = shadow_->relay();
+  if (active_relay_.has_value() && target == *active_relay_) return;
+  if (!relay_healthy(target)) return;
+  shadow_->track(feed[target]);
+}
+
+std::optional<RelayMeasurement> MuteDevice::shadow_handoff_candidate()
+    const {
+  if (!shadow_.has_value() || !shadow_->converged()) return std::nullopt;
+  const std::size_t target = shadow_->relay();
+  if (active_relay_.has_value() && target == *active_relay_) {
+    return std::nullopt;
+  }
+  if (!relay_healthy(target)) return std::nullopt;
+  // Require a live standby-list entry: the list is the only measurement
+  // whose age is bounded (standby_max_age_s). A converged shadow whose
+  // relay aged out of the ranking keeps its weights, but the handoff
+  // waits for the slow path / a fresh round.
+  for (const auto& m : standby_) {
+    if (m.relay_index == target) return m;
+  }
+  return std::nullopt;
+}
+
+std::size_t MuteDevice::taps_for_lookahead(double lookahead_s) const {
+  const double usable = usable_lookahead_s(lookahead_s, config_.latency);
+  return std::min<std::size_t>(
+      config_.max_noncausal_taps,
+      lookahead_taps(usable, config_.sample_rate));
 }
 
 std::optional<RelayMeasurement> MuteDevice::pick_standby() const {
+  // A converged shadow beats the lookahead ranking: its target hands over
+  // with an installed filter and primed history, which is worth more than
+  // a slightly longer lead paid for with a total_taps refill gap.
+  if (auto candidate = shadow_handoff_candidate()) return candidate;
   for (const auto& m : standby_) {
     if (active_relay_.has_value() && m.relay_index == *active_relay_) {
       continue;
@@ -352,6 +453,12 @@ void MuteDevice::associate(const RelayMeasurement& chosen) {
       lookahead_taps(usable, config_.sample_rate));
   lanc_.emplace(calibration_.impulse_response, opts);
   lanc_->set_relay(chosen.relay_index);
+  if (config_.enable_shadow && config_.relay_count > 1 &&
+      !shadow_.has_value()) {
+    // Mirror the engine's FxlmsOptions so shadow weights are installable
+    // into it tap-for-tap (assign() overrides the noncausal window).
+    shadow_.emplace(opts.fxlms, config_.shadow);
+  }
   active_relay_ = chosen.relay_index;
   lookahead_s_ = chosen.lookahead_s;
   weights_lookahead_s_ = chosen.lookahead_s;
@@ -359,11 +466,17 @@ void MuteDevice::associate(const RelayMeasurement& chosen) {
 }
 
 void MuteDevice::begin_handoff(const RelayMeasurement& target) {
-  const double usable =
-      usable_lookahead_s(target.lookahead_s, config_.latency);
-  const std::size_t new_taps = std::min<std::size_t>(
-      config_.max_noncausal_taps,
-      lookahead_taps(usable, config_.sample_rate));
+  // Shadow warm path: the shadow pre-converged for exactly this relay, and
+  // its prediction error says the filter is good. Adopt the tap layout the
+  // shadow actually converged at — the target's lookahead estimate jitters
+  // by a sample or two between selection rounds, and re-deriving the tap
+  // count from the newest estimate would spuriously disqualify the install
+  // over a one-tap mismatch.
+  const bool shadow_warm = shadow_.has_value() && shadow_->converged() &&
+                           shadow_->relay() == target.relay_index;
+  const std::size_t new_taps = shadow_warm
+                                   ? shadow_->engine().noncausal_taps()
+                                   : taps_for_lookahead(target.lookahead_s);
   // The `a_old - a_new` term of the weight remap (see
   // FxlmsEngine::retarget_noncausal for the derivation): the measured
   // change in relay lead, in whole samples. weights_lookahead_s_ — not
@@ -382,7 +495,27 @@ void MuteDevice::begin_handoff(const RelayMeasurement& target) {
   // the speaker from a half-empty delay line. hold()'s snapshot rollback
   // is safe here — retarget made the remapped weights the snapshot.
   lanc_->hold();
-  handoff_settle_ = lanc_->engine().total_taps();
+  if (shadow_warm) {
+    // Install the pre-converged weights plus the reference window they
+    // converged against, and settle only through the hold ramp instead of
+    // a full total_taps history refill — the ~0.33 s -> ~0.03 s gap win.
+    // After hold(): install_converged's weights must survive the hold's
+    // snapshot rollback, not be clobbered by it.
+    lanc_->install_converged(shadow_->engine().weights(),
+                             shadow_->engine().reference_window());
+    const auto ramp_samples = static_cast<std::size_t>(
+        config_.lanc.hold_ramp_s * config_.sample_rate);
+    handoff_settle_ = std::max<std::size_t>(1, ramp_samples);
+    ++shadow_handoff_count_;
+  } else {
+    handoff_settle_ = lanc_->engine().total_taps();
+  }
+  if (shadow_.has_value() && shadow_->has_target() &&
+      shadow_->relay() == target.relay_index) {
+    // The target is about to become primary; the next selection round
+    // assigns the budget to a new rival.
+    shadow_->clear();
+  }
   active_relay_ = target.relay_index;
   lookahead_s_ = target.lookahead_s;
   weights_lookahead_s_ = target.lookahead_s;
@@ -401,6 +534,10 @@ void MuteDevice::drop_association() {
   active_relay_.reset();
   lookahead_s_ = 0.0;
   reset_adverse();
+  // The shadow's target was scored relative to the association we just
+  // lost, and its window goes stale while kListening (nothing tracks it
+  // there) — a later install from it would be misaligned. Start over.
+  if (shadow_.has_value()) shadow_->clear();
   state_ = State::kListening;
 }
 

@@ -11,6 +11,7 @@
 #include "core/lanc.hpp"
 #include "core/link_monitor.hpp"
 #include "core/relay_select.hpp"
+#include "core/shadow_filter.hpp"
 #include "core/timing.hpp"
 
 namespace mute::core {
@@ -64,6 +65,19 @@ struct MuteDeviceConfig {
   // per-relay monitors, and a handoff to a relay whose geometry changed
   // is corrected by the normal adverse-evidence path afterwards.
   double standby_max_age_s = 10.0;
+
+  // Shadow pre-convergence (tentpole): while kRunning, the best-scored
+  // standby relay's stream trickle-adapts a background filter predicting
+  // the primary's speaker feed (see core/shadow_filter.hpp), so a handoff
+  // to that relay installs a converged filter + primed history instead of
+  // paying the ~total_taps history-refill gap.
+  bool enable_shadow = true;
+  ShadowFilterOptions shadow{};
+  // With a converged shadow standing by, a flagged link only gets this
+  // long to recover before the association hands over — the full
+  // hold_timeout_s wait exists to amortize a COLD re-acquisition, and a
+  // shadow handoff is nearly free.
+  double shadow_fast_handoff_s = 0.02;
 
   std::uint64_t seed = 1;
 };
@@ -132,6 +146,17 @@ class MuteDevice {
   /// Duration of the most recent re-acquisition gap: seconds from leaving
   /// kRunning to re-entering it (0.0 until the first such round trip).
   double last_reacquisition_gap_s() const { return last_gap_s_; }
+  /// Longest re-acquisition gap seen over the device's lifetime — the
+  /// quantity the chaos-soak invariants bound.
+  double max_reacquisition_gap_s() const { return max_gap_s_; }
+  /// Handoffs that installed a shadow-pre-converged filter (subset of
+  /// handoff_count()).
+  std::size_t shadow_handoff_count() const { return shadow_handoff_count_; }
+  /// The shadow pre-convergence filter (nullptr before the first
+  /// association or when disabled).
+  const ShadowFilter* shadow() const {
+    return shadow_.has_value() ? &*shadow_ : nullptr;
+  }
   /// Seconds each relay has spent as the active kRunning association.
   double relay_active_s(std::size_t relay) const;
   /// Current warm-standby ranking (descending lookahead; empty when no
@@ -173,6 +198,17 @@ class MuteDevice {
   void drop_association();
   bool note_adverse_round(AdverseCause cause, std::size_t rival);
   void reset_adverse();
+  MUTE_RT_ESCAPE(
+      "shadow target (re)assignment inside a selection round; allocates "
+      "only when the target actually changes, same cadence as "
+      "update_standby")
+  void refresh_shadow_target();
+  MUTE_RT_SAFE void shadow_observe(std::span<const Sample> feed, Sample y);
+  MUTE_RT_SAFE void shadow_track(std::span<const Sample> feed);
+  /// The standby-list measurement for the shadow's converged target, if it
+  /// is still ranked, healthy, and not the active relay.
+  std::optional<RelayMeasurement> shadow_handoff_candidate() const;
+  std::size_t taps_for_lookahead(double lookahead_s) const;
 
   MuteDeviceConfig config_;
   State state_ = State::kCalibrating;
@@ -219,6 +255,12 @@ class MuteDevice {
   std::size_t standby_max_age_samples_ = 0;
   std::size_t handoff_settle_ = 0;
 
+  // Shadow pre-convergence (tentpole). Created with the first association
+  // (it mirrors the LANC engine's FxlmsOptions); lives for the device.
+  std::optional<ShadowFilter> shadow_;
+  std::size_t shadow_fast_samples_ = 0;
+  std::size_t shadow_handoff_count_ = 0;
+
   // Re-selection hysteresis: while cancellation is active the error mic is
   // (by design!) quiet, so GCC-PHAT rounds lose confidence or mis-peak.
   // A low-confidence round is treated as evidence that cancellation works;
@@ -235,6 +277,7 @@ class MuteDevice {
   std::uint64_t tick_count_ = 0;
   std::uint64_t gap_start_tick_ = 0;
   double last_gap_s_ = 0.0;
+  double max_gap_s_ = 0.0;
   std::vector<std::uint64_t> relay_active_ticks_;
 };
 

@@ -53,6 +53,13 @@ RelaySelector::RelaySelector(std::size_t relay_count, double sample_rate,
   error_.reserve(period_samples_);
 }
 
+double standby_score(const RelayMeasurement& m, double needed_lookahead_s) {
+  ensure(needed_lookahead_s > 0.0, "needed lookahead must be positive");
+  if (m.lookahead_s <= 0.0) return 0.0;
+  const double usable = std::min(1.0, m.lookahead_s / needed_lookahead_s);
+  return m.confidence * usable;
+}
+
 std::optional<RelaySelection> RelaySelector::push(
     std::span<const Sample> relay_samples, Sample error_mic_sample) {
   ensure(relay_samples.size() == relays_.size(),

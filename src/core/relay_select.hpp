@@ -40,6 +40,15 @@ struct RelaySelectorOptions {
   double min_lookahead_s = 100e-6;  // require a usefully positive lead
 };
 
+/// Geometry/health-aware standby score: which rival earns the shadow
+/// filter's adaptation budget. Confidence weights the measurement's
+/// trustworthiness; lookahead is credited only up to `needed_lookahead_s`
+/// (the lead at which the device's tap cap saturates — lead beyond it buys
+/// no extra non-causal taps, so it must not outrank a more confident
+/// measurement). Returns confidence * min(1, lookahead / needed);
+/// non-positive lookahead scores 0.
+double standby_score(const RelayMeasurement& m, double needed_lookahead_s);
+
 /// Decide which relay (if any) offers positive lookahead by GCC-PHAT
 /// correlating each relay's forwarded waveform against the error-mic
 /// recording of the same interval.

@@ -1,0 +1,117 @@
+#include "core/shadow_filter.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace mute::core {
+
+namespace {
+
+adaptive::FxlmsOptions shadow_engine_options(adaptive::FxlmsOptions base) {
+  // The shadow starts with no lookahead window; assign() sizes it per
+  // target via retarget_noncausal.
+  base.noncausal_taps = 0;
+  return base;
+}
+
+}  // namespace
+
+ShadowFilter::ShadowFilter(adaptive::FxlmsOptions engine_options,
+                           ShadowFilterOptions options)
+    : opts_(options),
+      engine_({1.0}, shadow_engine_options(engine_options)) {
+  ensure(opts_.adapt_stride >= 1, "adapt stride must be >= 1");
+  ensure(opts_.ema_alpha > 0.0 && opts_.ema_alpha <= 1.0,
+         "ema alpha in (0, 1]");
+  ensure(opts_.converged_ratio > 0.0, "converged ratio must be positive");
+  ensure(opts_.diverged_ratio > opts_.converged_ratio,
+         "hysteresis needs diverged_ratio > converged_ratio");
+  ensure(opts_.outlier_gate > 1.0, "outlier gate must exceed 1");
+}
+
+void ShadowFilter::assign(std::size_t relay, std::size_t noncausal_taps,
+                          double lookahead_s) {
+  if (has_target_ && relay_ == relay &&
+      engine_.noncausal_taps() == noncausal_taps) {
+    // Same target re-ranked by a fresh selection round: keep the
+    // accumulated convergence, just track the refreshed lookahead.
+    lookahead_s_ = lookahead_s;
+    return;
+  }
+  // New target (or a lookahead change big enough to resize the window):
+  // the old weights predicted a different relay's geometry, so start
+  // clean. reset() zeroes weights and history; retarget re-sizes the
+  // window (a shift over all-zero weights stays all-zero).
+  engine_.reset();
+  engine_.retarget_noncausal(noncausal_taps, 0);
+  has_target_ = true;
+  relay_ = relay;
+  lookahead_s_ = lookahead_s;
+  stride_pos_ = 0;
+  updates_ = 0;
+  outlier_streak_ = 0;
+  latched_ = false;
+  err2_ema_ = 0.0;
+  tgt2_ema_ = 0.0;
+}
+
+void ShadowFilter::observe(Sample x_standby, Sample y_primary) {
+  MUTE_RT_SCOPE("ShadowFilter::observe");
+  if (!has_target_) return;
+  // The history must advance every sample (a decimated window would teach
+  // the filter a decimated room); only the O(taps) work is budgeted.
+  engine_.push_reference(x_standby);
+  if (++stride_pos_ < opts_.adapt_stride) return;
+  stride_pos_ = 0;
+  const double pred = static_cast<double>(engine_.compute_antinoise());
+  const double err = pred - static_cast<double>(y_primary);
+  const double e2 = err * err;
+  // Gross-error gate (see ShadowFilterOptions::outlier_gate): a warmed-up
+  // shadow rejects steps whose error dwarfs the target power — the
+  // signature of the primary's feed going bad before its monitor flags it.
+  if (updates_ >= opts_.min_updates &&
+      e2 > opts_.outlier_gate * std::max(tgt2_ema_, 1e-12)) {
+    if (++outlier_streak_ <= opts_.min_updates) return;
+    // Persistent, not a glitch: the target regime genuinely changed.
+    // Restart the statistics and fall through to adapt on the new regime.
+    updates_ = 0;
+    outlier_streak_ = 0;
+    latched_ = false;
+    err2_ema_ = 0.0;
+    tgt2_ema_ = 0.0;
+  } else {
+    outlier_streak_ = 0;
+  }
+  // FxlmsEngine::adapt steps w -= mu * e * u; with the identity secondary
+  // path u == x, so passing e = (y_hat - y_primary) is exactly the NLMS
+  // descent on the prediction error.
+  engine_.adapt(static_cast<Sample>(err));
+  ++updates_;
+  const double a = opts_.ema_alpha;
+  err2_ema_ += a * (e2 - err2_ema_);
+  const double tgt = static_cast<double>(y_primary);
+  tgt2_ema_ += a * (tgt * tgt - tgt2_ema_);
+  // Convergence latch with hysteresis (Schmitt trigger): see the options
+  // doc — a detection-lag creep must not unlatch a converged shadow.
+  const double ratio = error_ratio();
+  if (latched_) {
+    if (ratio > opts_.diverged_ratio) latched_ = false;
+  } else if (ratio < opts_.converged_ratio) {
+    latched_ = true;
+  }
+}
+
+void ShadowFilter::track(Sample x_standby) {
+  MUTE_RT_SCOPE("ShadowFilter::track");
+  if (!has_target_) return;
+  engine_.push_reference(x_standby);
+}
+
+double ShadowFilter::error_ratio() const {
+  if (updates_ < opts_.min_updates || tgt2_ema_ <= 1e-12) return 1.0;
+  return err2_ema_ / tgt2_ema_;
+}
+
+}  // namespace mute::core

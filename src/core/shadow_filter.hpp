@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "adaptive/fxlms.hpp"
+#include "common/rt_annotations.hpp"
+#include "common/types.hpp"
+
+namespace mute::core {
+
+/// Budget and convergence policy for the shadow pre-convergence filter.
+struct ShadowFilterOptions {
+  /// Adapt once every `adapt_stride` observed samples. The reference push
+  /// is O(1) and runs every sample (the history must stay sample-exact);
+  /// the O(taps) prediction + gradient step runs on this stride, so the
+  /// shadow's steady-state cost is ~1/stride of the primary engine's.
+  std::size_t adapt_stride = 4;
+  /// EMA smoothing for the prediction-error and target-power trackers
+  /// (per adaptation step; 0.005 ~ a few hundred updates of memory).
+  double ema_alpha = 0.005;
+  /// Minimum adaptation steps before the shadow may report converged —
+  /// the EMAs are meaningless until the filter has seen real data.
+  std::size_t min_updates = 512;
+  /// Converged when the prediction-error EMA falls below this fraction of
+  /// the target-power EMA (0.25 = the shadow reproduces the primary's
+  /// speaker feed to within -6 dB).
+  double converged_ratio = 0.25;
+  /// Hysteresis: once latched converged, the shadow stays converged until
+  /// the error ratio rises ABOVE this (then re-latches at converged_ratio
+  /// again). The moment a fault hits the primary, its speaker feed decays
+  /// toward sanitized silence during the monitor's detection lag; the
+  /// shadow keeps adapting against it, err ~ pred, and the ratio creeps up
+  /// PAST converged_ratio in milliseconds (measured 0.23 -> 0.38 in 13 ms)
+  /// — exactly when the handoff needs converged() to hold. The creep is
+  /// bounded by the detection lag (the device stops observe() once the
+  /// monitor flags), so a latch with ~2x headroom rides it out, while a
+  /// genuinely diverged shadow (ratio ~1) still unlatches.
+  double diverged_ratio = 0.5;
+  /// Gross-error gate: once warmed up, an adaptation step whose
+  /// instantaneous |error|^2 exceeds this multiple of the target-power EMA
+  /// is rejected (no weight update, no EMA update). The primary's link
+  /// monitor flags a dead link only after a short detection lag, and the
+  /// speaker feed in that lag is garbage — without the gate those few
+  /// milliseconds of outliers corrupt the converged weights and spike the
+  /// error EMA past converged_ratio at exactly the moment the handoff
+  /// needs it (measured: ratio 0.23 -> 0.61 in 13 ms on a relay dropout).
+  /// A *persistent* regime change (the target legitimately got much
+  /// louder) un-wedges itself: after min_updates consecutive rejections
+  /// the statistics restart and adaptation resumes.
+  double outlier_gate = 8.0;
+};
+
+/// Shadow pre-convergence for warm-standby failover (tentpole): while the
+/// primary relay drives the LANC engine, the best standby's forwarded
+/// stream trickle-adapts this background filter so a handoff can start
+/// from a converged filter instead of a remap.
+///
+/// The trick is the training target. Adapting a second LANC against the
+/// live error microphone cannot work — the primary is already cancelling,
+/// so the residual is (by design) quiet and decorrelated, and a filter
+/// trained on it converges to zero. Instead the shadow learns to *predict
+/// the primary's speaker feed* from the standby's reference:
+///
+///     y_hat(t) = w_s^T x_standby   ->   minimize |y_hat - y_primary|^2
+///
+/// Both the primary's weights and the shadow's are speaker-feed filters in
+/// the same [noncausal | causal] newest-first layout, so once the
+/// prediction error is small, w_s IS the filter the LANC engine needs when
+/// it re-targets to the standby — installable directly (with the shadow's
+/// reference window priming the engine history), no gradient descent and
+/// no history-refill gap. Implemented as an FxlmsEngine with an identity
+/// secondary path, which degenerates FxLMS into plain prediction NLMS and
+/// reuses the engine's divergence guard and excitation gate for free.
+///
+/// observe() is RT-safe and allocation-free; (re)assigning a target
+/// allocates and belongs on the control plane.
+class ShadowFilter {
+ public:
+  /// `engine_options` should mirror the primary LANC engine's FxlmsOptions
+  /// (causal taps, mu, leakage, guard) so the learned weights are
+  /// drop-in compatible; noncausal_taps is overridden per target.
+  ShadowFilter(adaptive::FxlmsOptions engine_options,
+               ShadowFilterOptions options);
+
+  /// Start (or re-start) pre-converging for standby `relay`, whose usable
+  /// lookahead maps to `noncausal_taps` future taps. Re-assigning the same
+  /// (relay, taps) pair is a no-op — refreshed standby rankings must not
+  /// discard accumulated convergence. Control-plane: allocates.
+  MUTE_RT_UNSAFE void assign(std::size_t relay, std::size_t noncausal_taps,
+                             double lookahead_s);
+
+  /// Forget the current target (e.g. it was promoted to primary or its
+  /// link died). Weights and convergence state reset on the next assign().
+  void clear() { has_target_ = false; }
+
+  /// One audio tick: the standby's newest (advanced) reference sample and
+  /// the primary's speaker-feed sample for the same instant.
+  MUTE_RT_SAFE void observe(Sample x_standby, Sample y_primary);
+
+  /// Advance the reference window WITHOUT adapting — used while the
+  /// primary is holding or handing off, when its (fading) speaker feed is
+  /// not a trainable target but the window must stay contiguous with the
+  /// live stream so an install stays sample-aligned.
+  MUTE_RT_SAFE void track(Sample x_standby);
+
+  bool has_target() const { return has_target_; }
+  std::size_t relay() const { return relay_; }
+  double lookahead_s() const { return lookahead_s_; }
+  std::size_t update_count() const { return updates_; }
+
+  /// Smoothed |prediction error|^2 / |target|^2 (1.0 until measurable).
+  double error_ratio() const;
+  /// True once the shadow predicts the primary well enough to install
+  /// (latched with hysteresis — see ShadowFilterOptions::diverged_ratio).
+  bool converged() const { return has_target_ && latched_; }
+
+  /// The pre-converged engine: weights() to install, reference_window()
+  /// to prime the primary engine's history at handoff.
+  const adaptive::FxlmsEngine& engine() const { return engine_; }
+
+ private:
+  ShadowFilterOptions opts_;
+  adaptive::FxlmsEngine engine_;  // identity secondary path
+  bool has_target_ = false;
+  std::size_t relay_ = 0;
+  double lookahead_s_ = 0.0;
+  std::size_t stride_pos_ = 0;
+  std::size_t updates_ = 0;
+  std::size_t outlier_streak_ = 0;
+  bool latched_ = false;
+  double err2_ema_ = 0.0;
+  double tgt2_ema_ = 0.0;
+};
+
+}  // namespace mute::core

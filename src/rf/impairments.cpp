@@ -16,6 +16,23 @@ namespace {
 // accumulates (100 ppm for 60 s is ~1.5 k samples).
 constexpr std::size_t kDriftRingSize = 4096;
 
+// Amplitude coupling of a channel-pinned jammer into a receiver tuned to
+// `rx_channel`. Co-channel couples at unity; one channel away the
+// channel-select filter leaves ~ -30 dB (adjacent-channel rejection of the
+// 4th-order select filter against a tone one full FM channel pitch out of
+// band); two or more away the tone is far outside the passband and only a
+// negligible floor remains. A -1 event follows the victim (legacy
+// co-channel semantics), so it always couples at unity.
+double jammer_channel_coupling(int jammer_channel, std::size_t rx_channel) {
+  if (jammer_channel < 0) return 1.0;
+  const auto jc = static_cast<std::ptrdiff_t>(jammer_channel);
+  const auto rc = static_cast<std::ptrdiff_t>(rx_channel);
+  const std::ptrdiff_t d = jc > rc ? jc - rc : rc - jc;
+  if (d == 0) return 1.0;
+  if (d == 1) return 0.0316;  // -30 dB adjacent-channel rejection
+  return 1e-4;                // -80 dB: out of the selectivity curve
+}
+
 // Raised-cosine shape of a fade event: 0 outside, smooth 0->1 over the
 // entry ramp, 1 at the bottom, smooth 1->0 over the exit ramp.
 double fade_shape(const FaultEvent& event, double t) {
@@ -61,13 +78,15 @@ FaultSchedule& FaultSchedule::relay_off(double start_s, double duration_s) {
 }
 
 FaultSchedule& FaultSchedule::jammer(double start_s, double duration_s,
-                                     double offset_hz, double power_db) {
+                                     double offset_hz, double power_db,
+                                     int channel) {
   FaultEvent e;
   e.kind = FaultKind::kJammer;
   e.start_s = start_s;
   e.duration_s = duration_s;
   e.jammer_offset_hz = offset_hz;
   e.jammer_power_db = power_db;
+  e.jammer_channel = channel;
   return add(e);
 }
 
@@ -103,6 +122,11 @@ FaultSchedule& FaultSchedule::clock_drift(double start_s, double duration_s,
   e.duration_s = duration_s;
   e.drift_ppm = ppm;
   return add(e);
+}
+
+FaultSchedule& FaultSchedule::merge(const FaultSchedule& other) {
+  for (const FaultEvent& e : other.events_) add(e);
+  return *this;
 }
 
 bool FaultSchedule::has(FaultKind kind) const {
@@ -185,7 +209,7 @@ Complex FaultInjector::process(Complex x) {
     }
   }
 
-  Complex s = carrier_off ? Complex{0.0, 0.0} : x * gain;
+  Complex s = carrier_off ? Complex{0.0, 0.0} : x * (gain * tx_gain_lin_);
 
   if (has_drift_) {
     // The relay's cheap crystal runs fast/slow during a drift event; at
@@ -218,7 +242,9 @@ Complex FaultInjector::process(Complex x) {
     const FaultEvent& e = events[i];
     if (t < e.start_s || t >= e.end_s()) continue;
     if (e.kind == FaultKind::kJammer) {
-      const double amp = std::sqrt(db_to_power(e.jammer_power_db));
+      const double couple =
+          jammer_channel_coupling(e.jammer_channel, active_channel_);
+      const double amp = std::sqrt(db_to_power(e.jammer_power_db)) * couple;
       const double phi =
           kTwoPi * e.jammer_offset_hz * t + jammer_phase_[i];
       y += Complex{amp * std::cos(phi), amp * std::sin(phi)};
@@ -233,9 +259,15 @@ Complex FaultInjector::process(Complex x) {
   return y;
 }
 
+void FaultInjector::set_tx_gain_db(double gain_db) {
+  tx_gain_db_ = gain_db;
+  tx_gain_lin_ = db_to_amplitude(gain_db);
+}
+
 ComplexSignal FaultInjector::process(std::span<const Complex> x) {
-  // Fast path: an empty schedule is the benign channel, block-processed.
-  if (schedule_.empty()) {
+  // Fast path: an empty schedule at nominal TX power is the benign
+  // channel, block-processed.
+  if (schedule_.empty() && tx_gain_lin_ == 1.0) {
     n_ += x.size();
     return channel_.process(x);
   }

@@ -42,6 +42,13 @@ struct FaultEvent {
   double impulse_rate_hz = 200.0;   // expected impulses per second
   double impulse_amplitude = 10.0;  // peak amplitude of one impulse
   double drift_ppm = 0.0;           // relay clock error while event active
+  // ISM channel the jammer occupies. -1 (legacy default) means co-channel
+  // wherever the victim tunes — the jammer follows the link, so hopping
+  // cannot dodge it. >= 0 pins the interferer to one channel: it couples
+  // at full power only while the link is tuned there, at the receiver's
+  // adjacent-channel rejection one channel away, and negligibly beyond —
+  // which is exactly what makes monitor-driven channel hopping effective.
+  int jammer_channel = -1;
 
   double end_s() const { return start_s + duration_s; }
 };
@@ -53,13 +60,22 @@ class FaultSchedule {
   FaultSchedule() = default;
 
   FaultSchedule& relay_off(double start_s, double duration_s);
+  /// `channel` >= 0 pins the jammer to that ISM channel (see
+  /// FaultEvent::jammer_channel); the -1 default keeps the legacy
+  /// co-channel follow-the-victim behaviour for existing call sites.
   FaultSchedule& jammer(double start_s, double duration_s,
-                        double offset_hz, double power_db);
+                        double offset_hz, double power_db,
+                        int channel = -1);
   FaultSchedule& deep_fade(double start_s, double duration_s,
                            double depth_db, double ramp_s = 0.02);
   FaultSchedule& impulse_noise(double start_s, double duration_s,
                                double rate_hz, double amplitude);
   FaultSchedule& clock_drift(double start_s, double duration_s, double ppm);
+
+  /// Append every event of `other` (chaos-soak schedules compose several
+  /// canned scenarios onto one relay). Events may overlap; the injector
+  /// applies all active events each sample.
+  FaultSchedule& merge(const FaultSchedule& other);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
@@ -101,6 +117,20 @@ class FaultInjector {
   /// Stream time consumed so far, in seconds.
   double elapsed_s() const { return static_cast<double>(n_) / fs_; }
 
+  /// Retune the link to another ISM channel (spectrum planner action).
+  /// Takes effect at the next processed sample; the fault clock, channel
+  /// model, and schedule are untouched — the channel index only gates how
+  /// strongly channel-pinned jammers couple. RT-safe and allocation-free.
+  MUTE_RT_SAFE void retune(std::size_t channel) { active_channel_ = channel; }
+  std::size_t channel() const { return active_channel_; }
+
+  /// TX power step in dB applied to the transmitted baseband before the
+  /// channel (planner escalation). Interference is additive at the
+  /// receiver, so a TX step buys SIR directly. Does not resurrect a
+  /// powered-off carrier.
+  MUTE_RT_SAFE void set_tx_gain_db(double gain_db);
+  double tx_gain_db() const { return tx_gain_db_; }
+
   /// Group-delay shift accumulated by clock-drift events, in (RF) samples.
   /// Non-zero drift invalidates any latency measured before the event —
   /// see RelayLink::invalidate_latency_cache().
@@ -115,6 +145,12 @@ class FaultInjector {
   std::uint64_t seed_;
   Rng rng_;
   std::uint64_t n_ = 0;
+
+  // Spectrum state: which ISM channel the link is tuned to, and the
+  // planner-commanded TX power step (linear amplitude).
+  std::size_t active_channel_ = 0;
+  double tx_gain_db_ = 0.0;
+  double tx_gain_lin_ = 1.0;
 
   // Jammer oscillators: one static phase per event (index-aligned).
   std::vector<double> jammer_phase_;

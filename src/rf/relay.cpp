@@ -18,6 +18,7 @@ RelayTransmitter::RelayTransmitter(const RelayConfig& config,
     : cfg_(config),
       front_end_(config.audio_cutoff_hz, config.audio_gain, config.clip_level,
                  config.audio_rate),
+      upsampler_(config.audio_rate, config.rf_rate),
       modulator_(config.fm_deviation_hz, config.rf_rate),
       pa_(config.pa_backoff_db) {
   ensure(config.rf_rate > 2 * config.fm_deviation_hz,
@@ -33,28 +34,30 @@ ComplexSignal RelayTransmitter::transmit(std::span<const Sample> audio) {
       if (i & 1) conditioned[i] = -conditioned[i];
     }
   }
-  // Analog interpolation to the RF processing rate.
-  Signal upsampled =
-      mute::dsp::resample(conditioned, cfg_.audio_rate, cfg_.rf_rate);
+  // Analog interpolation to the RF processing rate. The streaming
+  // resampler carries its input tail across calls, so per-block transmits
+  // concatenate to the exact whole-record result.
+  Signal upsampled = upsampler_.process(conditioned);
   ComplexSignal modulated = modulator_.modulate(upsampled);
   return pa_.process(modulated);
 }
 
 void RelayTransmitter::reset() {
   front_end_.reset();
+  upsampler_.reset();
   modulator_.reset();
 }
 
 EarReceiver::EarReceiver(const RelayConfig& config, std::uint64_t /*seed*/)
     : cfg_(config),
       select_(config.rx_bandwidth_hz, config.rf_rate),
-      demodulator_(config.fm_deviation_hz, config.rf_rate) {}
+      demodulator_(config.fm_deviation_hz, config.rf_rate),
+      downsampler_(config.rf_rate, config.audio_rate) {}
 
 Signal EarReceiver::receive(std::span<const Complex> rf) {
   ComplexSignal selected = select_.process(rf);
   Signal demodulated = demodulator_.demodulate(selected);
-  Signal audio = mute::dsp::resample(demodulated, cfg_.rf_rate,
-                                     cfg_.audio_rate);
+  Signal audio = downsampler_.process(demodulated);
   if (cfg_.scramble) {
     // Undo the spectral inversion (self-inverse up to a harmless global
     // sign that depends on the link delay parity). Parity continuity is
@@ -70,6 +73,7 @@ Signal EarReceiver::receive(std::span<const Complex> rf) {
 void EarReceiver::reset() {
   select_.reset();
   demodulator_.reset();
+  downsampler_.reset();
   descramble_phase_ = false;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/types.hpp"
+#include "dsp/resampler.hpp"
 #include "rf/fm.hpp"
 #include "rf/frontend.hpp"
 #include "rf/impairments.hpp"
@@ -39,6 +40,10 @@ struct RelayConfig {
 /// -> LPF -> amplifier -> VCO/FM -> (PLL up-conversion, modeled as the
 /// baseband phasor) -> PA. Audio enters at `audio_rate`; the emitted
 /// complex baseband stream is at `rf_rate`. No sample is ever stored.
+///
+/// Every stage is streaming-stateful (biquads, VCO phase, and the
+/// interpolator's carried input tail), so splitting a record into blocks
+/// produces the bit-identical stream a single whole-record call would.
 class RelayTransmitter {
  public:
   RelayTransmitter(const RelayConfig& config, std::uint64_t seed);
@@ -52,12 +57,15 @@ class RelayTransmitter {
  private:
   RelayConfig cfg_;
   AudioFrontEnd front_end_;
+  mute::dsp::StreamingResampler upsampler_;
   FmModulator modulator_;
   PowerAmplifier pa_;
 };
 
 /// The ear-device receiver: channel-select filter -> FM discriminator ->
-/// DC block (CFO removal) -> decimation back to the audio rate.
+/// DC block (CFO removal) -> decimation back to the audio rate. Streaming-
+/// stateful end to end (see RelayTransmitter): block boundaries are
+/// invisible in the output.
 class EarReceiver {
  public:
   EarReceiver(const RelayConfig& config, std::uint64_t seed);
@@ -71,6 +79,7 @@ class EarReceiver {
   RelayConfig cfg_;
   ChannelSelectFilter select_;
   FmDemodulator demodulator_;
+  mute::dsp::StreamingResampler downsampler_;
   bool descramble_phase_ = false;
 };
 
@@ -109,6 +118,21 @@ class RelayLink {
   /// clock restarts at stream time zero; the latency cache is invalidated
   /// because drift events change the link's effective group delay.
   void set_fault_schedule(FaultSchedule schedule);
+
+  /// Retune the link to another ISM channel (spectrum-planner action).
+  /// Composition with the latency cache: a retune does NOT invalidate the
+  /// cached group delay — the channel index is a narrowband coupling label
+  /// for channel-pinned jammers, not a different signal path, so the
+  /// link's group delay is unchanged. Only mutations that change timing
+  /// (set_fault_schedule with clock drift, config edits) force a
+  /// re-measure.
+  void retune(std::size_t channel) { channel_.retune(channel); }
+  std::size_t channel() const { return channel_.channel(); }
+
+  /// TX power step in dB (planner escalation). Amplitude-only: the FM
+  /// information lives in frequency, so the latency cache stays valid.
+  void set_tx_gain_db(double gain_db) { channel_.set_tx_gain_db(gain_db); }
+  double tx_gain_db() const { return channel_.tx_gain_db(); }
 
   /// Audio-band SNDR of the link for a sine probe at `tone_hz`, in dB.
   double measure_sndr_db(double tone_hz, double amplitude = 0.5);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rt_annotations.hpp"
 
 namespace mute::rf {
 
@@ -45,5 +46,100 @@ inline std::vector<double> assign_channels(std::size_t count, double band_hz,
 
 /// The 900 MHz ISM band the paper's relay uses (paper: 26 MHz wide).
 inline constexpr double kIsmBandHz = 26e6;
+
+/// ---------------------------------------------------------------------
+/// Monitor-driven spectrum planning. The static helpers above answer "how
+/// many relays fit"; the planner below answers "what do we do when the
+/// channel a relay sits on goes bad" — the runtime half of coexistence on
+/// a shared ISM band. It consumes LinkMonitor-style adverse evidence and
+/// emits per-relay actions: hop to the cleanest free channel first, and
+/// only when no cleaner channel exists, step TX power (hop -> hop -> TX
+/// escalation). Everything is preallocated at construction; the advisory
+/// path is RT-safe.
+
+struct SpectrumPlannerOptions {
+  /// ISM channels available to the mesh (the 26 MHz band holds 8 channels
+  /// of ~3 MHz pitch comfortably; see relay_capacity()).
+  std::size_t channel_count = 8;
+  /// Exponential decay rate (1/s) of per-channel penalty and per-relay
+  /// adverse pressure. ~0.5/s forgets a jammer burst in a few seconds.
+  double penalty_decay_per_s = 0.5;
+  /// Adverse pressure a relay must accumulate before the planner acts.
+  /// Each note_adverse() adds 1; with decay this is "a couple of adverse
+  /// rounds in quick succession", filtering one-off blips.
+  double hop_threshold = 2.0;
+  /// Minimum dwell between actions on one relay. Rate-limits hopping so a
+  /// wideband/jammer-everywhere fault cannot trigger a hop storm.
+  double min_dwell_s = 0.25;
+  /// A candidate channel must beat the current one by this much penalty
+  /// before a hop is worth the retune transient.
+  double hop_margin = 0.5;
+  /// TX power escalation: step size and cap (dB above nominal).
+  double tx_step_db = 3.0;
+  double tx_max_db = 6.0;
+};
+
+enum class PlannerActionKind {
+  kNone,    // keep current tuning
+  kHop,     // retune to `channel`
+  kTxStep,  // raise TX power to `tx_gain_db`
+};
+
+struct PlannerAction {
+  PlannerActionKind kind = PlannerActionKind::kNone;
+  std::size_t relay = 0;
+  std::size_t channel = 0;     // valid when kind == kHop
+  double tx_gain_db = 0.0;     // valid when kind == kTxStep
+};
+
+/// Per-mesh spectrum planner. One instance supervises all relays: channel
+/// penalties are global (a jammer seen by relay A warns relay B off that
+/// channel), adverse pressure and dwell timers are per relay, and a hop
+/// never lands on a channel another relay currently occupies.
+///
+/// Protocol per control round, per relay:
+///   - note_adverse(relay, now_s) whenever the link monitor flags the
+///     relay's stream unhealthy; note_clean(relay, now_s) otherwise.
+///   - action = plan(relay, now_s); apply kHop via RelayLink::retune()
+///     (latency cache intentionally survives — see relay.hpp) or kTxStep
+///     via RelayLink::set_tx_gain_db().
+class SpectrumPlanner {
+ public:
+  SpectrumPlanner(std::size_t relay_count, SpectrumPlannerOptions options);
+
+  /// Record monitor evidence for `relay` at stream time `now_s`. Adverse
+  /// evidence penalizes the channel the relay is currently tuned to.
+  MUTE_RT_SAFE void note_adverse(std::size_t relay, double now_s);
+  MUTE_RT_SAFE void note_clean(std::size_t relay, double now_s);
+
+  /// Decide the next action for `relay`. Mutates planner state when the
+  /// action is not kNone (occupancy, dwell timer, adverse pressure), so
+  /// the caller must apply the returned action.
+  MUTE_RT_SAFE PlannerAction plan(std::size_t relay, double now_s);
+
+  std::size_t relay_count() const { return relays_.size(); }
+  std::size_t channel_count() const { return penalty_.size(); }
+  std::size_t channel_of(std::size_t relay) const;
+  double tx_gain_db(std::size_t relay) const;
+  double channel_penalty(std::size_t channel) const;
+  double adverse_pressure(std::size_t relay) const;
+
+ private:
+  MUTE_RT_SAFE void decay_to(double now_s);
+  MUTE_RT_SAFE bool occupied_by_peer(std::size_t channel,
+                                     std::size_t relay) const;
+
+  struct RelayState {
+    std::size_t channel = 0;
+    double adverse = 0.0;      // decayed adverse pressure
+    double tx_gain_db = 0.0;
+    double last_action_s = -1e9;
+  };
+
+  SpectrumPlannerOptions opt_;
+  std::vector<RelayState> relays_;
+  std::vector<double> penalty_;  // per-channel, shared across the mesh
+  double last_decay_s_ = 0.0;
+};
 
 }  // namespace mute::rf

@@ -1,0 +1,224 @@
+#include "sim/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "dsp/fir_filter.hpp"
+
+namespace mute::sim {
+
+MeshSimResult run_mesh_simulation(audio::SoundSource& noise,
+                                  const MeshSimConfig& config) {
+  const DeviceSimConfig& dc = config.device_sim;
+  const double fs = dc.scene.sample_rate;
+  ensure(fs > 0, "scene sample rate must be positive");
+  const auto n = static_cast<std::size_t>(dc.duration_s * fs);
+  ensure(n > 4096, "run too short");
+  ensure(config.control_block_s > 0, "control block must be positive");
+  if (config.spectrum_supervision) {
+    ensure(dc.use_rf_link, "spectrum supervision needs an RF link to retune");
+    ensure(dc.device.link_supervision,
+           "spectrum supervision needs link monitors for adverse evidence");
+  }
+
+  std::vector<acoustics::Point> relays = dc.relay_positions;
+  if (relays.empty()) relays.push_back(dc.scene.relay_mic);
+  const std::size_t relay_count = relays.size();
+
+  // --- 1. Noise record with a quiet power-up lead-in (identical to
+  //        run_device_simulation so the supervision-off mesh run is
+  //        bit-identical to the whole-record device sim) ---------------
+  noise.reset();
+  Signal n_sig = noise.generate(n);
+  const auto quiet = std::min<std::size_t>(
+      n, static_cast<std::size_t>((dc.device.calibration_s + 0.1) * fs));
+  std::fill(n_sig.begin(),
+            n_sig.begin() + static_cast<std::ptrdiff_t>(quiet), 0.0f);
+
+  // --- 2. Acoustic paths: ear + one per relay --------------------------
+  const auto h_ne = acoustics::build_path(dc.scene, dc.scene.noise_source,
+                                          dc.scene.error_mic, "h_ne");
+  const auto h_se = acoustics::build_path(dc.scene, dc.scene.anti_speaker,
+                                          dc.scene.error_mic, "h_se");
+  Signal d_ac = h_ne.apply(n_sig);
+  std::vector<Signal> x(relay_count);
+  for (std::size_t k = 0; k < relay_count; ++k) {
+    const auto h_nr = acoustics::build_path(dc.scene, dc.scene.noise_source,
+                                            relays[k], "h_nr_k");
+    x[k] = h_nr.apply(n_sig);
+  }
+
+  const auto loud_rms = [&](const Signal& s) {
+    double acc = 0.0;
+    for (std::size_t i = quiet; i < n; ++i) {
+      acc += static_cast<double>(s[i]) * static_cast<double>(s[i]);
+    }
+    return n > quiet ? std::sqrt(acc / static_cast<double>(n - quiet)) : 0.0;
+  };
+  const auto scale_to = [&](Signal& s, double target_rms) {
+    const double g = target_rms / std::max(loud_rms(s), 1e-9);
+    for (auto& v : s) v = static_cast<Sample>(static_cast<double>(v) * g);
+  };
+  scale_to(d_ac, dc.disturbance_rms);
+  for (auto& xs : x) scale_to(xs, 0.1);
+
+  // --- 3. Persistent per-relay RF chains -------------------------------
+  // Unlike run_device_simulation (which RF-processes the whole record up
+  // front), the links live for the whole run and stream per control block:
+  // every stage is streaming-stateful, so block boundaries are invisible,
+  // and the planner can retune a link BETWEEN blocks.
+  std::vector<std::unique_ptr<rf::RelayLink>> links;
+  if (dc.use_rf_link) {
+    links.reserve(relay_count);
+    for (std::size_t k = 0; k < relay_count; ++k) {
+      rf::RelayConfig rf_cfg = dc.rf;
+      rf_cfg.audio_rate = fs;
+      if (k < dc.relay_faults.size()) rf_cfg.faults = dc.relay_faults[k];
+      links.push_back(
+          std::make_unique<rf::RelayLink>(rf_cfg, dc.seed + 100 + k));
+    }
+  }
+
+  // --- 4. Spectrum planner ---------------------------------------------
+  std::optional<rf::SpectrumPlanner> planner;
+  if (config.spectrum_supervision) {
+    rf::SpectrumPlannerOptions popt = config.planner;
+    popt.channel_count = std::max(popt.channel_count, relay_count);
+    planner.emplace(relay_count, popt);
+    // Mirror the planner's frequency-division assignment into the links so
+    // channel-pinned jammers couple against the channel the relay is
+    // actually on. The channel index is a coupling label only (see
+    // RelayLink::retune), so this does not perturb the benign signal path.
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      links[k]->retune(planner->channel_of(k));
+    }
+  }
+
+  // --- 5. Device + anti-noise plant ------------------------------------
+  core::MuteDeviceConfig dev_cfg = dc.device;
+  dev_cfg.sample_rate = fs;
+  dev_cfg.relay_count = relay_count;
+  core::MuteDevice device(dev_cfg);
+  const auto hse_eff = detail::effective_secondary_ir(
+      h_se.impulse_response(), dev_cfg.latency.total_s() * fs);
+  mute::dsp::FirFilter hse_stream(hse_eff);
+
+  // --- 6. Block-streamed loop ------------------------------------------
+  MeshSimResult out;
+  SystemResult& result = out.system;
+  result.sample_rate = fs;
+  result.disturbance = d_ac;
+  result.residual.resize(n);
+  result.anti_at_ear.resize(n);
+  const auto block = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.control_block_s * fs));
+  Signal feed(relay_count, 0.0f);
+  std::vector<Signal> xb(relay_count);  // RF-processed current block
+  Sample error = 0.0f;  // device consumes the PREVIOUS tick's ear field
+  const bool tally_alloc =
+      config.count_allocations && RtAllocationGuard::interposition_enabled();
+  out.allocation_tracking = tally_alloc;
+
+  for (std::size_t start = 0; start < n; start += block) {
+    const std::size_t len = std::min(block, n - start);
+
+    // RF-process this block through the persistent links.
+    for (std::size_t k = 0; k < relay_count; ++k) {
+      const std::span<const Sample> slice(x[k].data() + start, len);
+      if (dc.use_rf_link) {
+        xb[k] = links[k]->process(slice);
+      } else {
+        xb[k].assign(slice.begin(), slice.end());
+      }
+    }
+
+    for (std::size_t t = 0; t < len; ++t) {
+      for (std::size_t k = 0; k < relay_count; ++k) feed[k] = xb[k][t];
+      Sample y;
+      if (tally_alloc) {
+        RtAllocationGuard guard(RtAllocationGuard::Mode::kCount, "mesh-tick");
+        y = device.tick(feed, error);
+        if (guard.allocations_since_entry() > 0) ++out.allocating_ticks;
+      } else {
+        y = device.tick(feed, error);
+      }
+      ++out.total_ticks;
+      const Sample anti = hse_stream.process(y);
+      const Sample at_ear = static_cast<Sample>(
+          static_cast<double>(d_ac[start + t]) + static_cast<double>(anti));
+      error = at_ear;
+      result.residual[start + t] = at_ear;
+      result.anti_at_ear[start + t] = anti;
+    }
+
+    // Consult the spectrum planner between blocks: link-monitor evidence
+    // in, channel hops / TX steps out. Only once the device has gone live
+    // (kRunning and beyond): during calibration and listening the noise
+    // record's quiet lead-in makes every monitor report silence, and a
+    // planner fed that evidence would hop relays off perfectly clean
+    // channels before the first selection round.
+    const bool live = device.state() >= core::MuteDevice::State::kRunning;
+    if (planner.has_value() && live) {
+      const double now_s = static_cast<double>(start + len) / fs;
+      for (std::size_t k = 0; k < relay_count; ++k) {
+        const auto* monitor = device.link_monitor(k);
+        if (monitor == nullptr) continue;
+        if (monitor->healthy()) {
+          planner->note_clean(k, now_s);
+        } else {
+          planner->note_adverse(k, now_s);
+        }
+        const auto action = planner->plan(k, now_s);
+        switch (action.kind) {
+          case rf::PlannerActionKind::kHop:
+            links[k]->retune(action.channel);
+            ++out.hop_count;
+            break;
+          case rf::PlannerActionKind::kTxStep:
+            links[k]->set_tx_gain_db(action.tx_gain_db);
+            ++out.tx_step_count;
+            break;
+          case rf::PlannerActionKind::kNone:
+            break;
+        }
+      }
+    }
+  }
+  result.ambient_at_ear = std::move(d_ac);
+
+  // --- 7. Diagnostics (mirrors run_device_simulation) -------------------
+  result.noncausal_taps = device.noncausal_taps();
+  result.calibration_error_db = device.calibration().final_error_db;
+  result.handoff_count = device.handoff_count();
+  result.shadow_handoff_count = device.shadow_handoff_count();
+  result.device_hold_count = device.hold_count();
+  result.reacquisition_gap_s = device.last_reacquisition_gap_s();
+  result.max_reacquisition_gap_s = device.max_reacquisition_gap_s();
+  result.relay_active_s.resize(relay_count);
+  for (std::size_t k = 0; k < relay_count; ++k) {
+    result.relay_active_s[k] = device.relay_active_s(k);
+    if (const auto* monitor = device.link_monitor(k)) {
+      result.link_fault_samples += monitor->unhealthy_samples();
+      result.link_fault_episodes += monitor->fault_episodes();
+      if (monitor->unhealthy_samples() > 0) {
+        result.link_fault_flags |= monitor->flags();
+      }
+    }
+  }
+  if (device.measured_lookahead_s() > 0.0) {
+    result.usable_lookahead_s = core::usable_lookahead_s(
+        device.measured_lookahead_s(), dev_cfg.latency);
+  }
+  out.final_channels.resize(relay_count, 0);
+  out.final_tx_gain_db.resize(relay_count, 0.0);
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    out.final_channels[k] = links[k]->channel();
+    out.final_tx_gain_db[k] = links[k]->tx_gain_db();
+  }
+  return out;
+}
+
+}  // namespace mute::sim

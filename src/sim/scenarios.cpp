@@ -125,7 +125,7 @@ const char* fault_scenario_name(FaultScenario scenario) {
 }
 
 rf::FaultSchedule make_fault_schedule(FaultScenario scenario, double start_s,
-                                      double duration_s) {
+                                      double duration_s, int jammer_channel) {
   rf::FaultSchedule faults;
   switch (scenario) {
     case FaultScenario::kNone:
@@ -137,7 +137,7 @@ rf::FaultSchedule make_fault_schedule(FaultScenario scenario, double start_s,
       // A co-channel emitter well above our post-backoff envelope, offset
       // into the channel-select passband.
       faults.jammer(start_s, duration_s, /*offset_hz=*/40e3,
-                    /*power_db=*/6.0);
+                    /*power_db=*/6.0, jammer_channel);
       break;
     case FaultScenario::kDeepFade:
       // Deep enough to push the FM demodulator below its capture

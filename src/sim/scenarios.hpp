@@ -61,8 +61,12 @@ const char* fault_scenario_name(FaultScenario scenario);
 /// apply_fault_scenario for the single-link sim and by DeviceSimConfig
 /// callers (bench/failover, integration tests) to fault one relay of a
 /// multi-relay deployment.
+/// `jammer_channel` only affects kJammerBurst: >= 0 pins the interferer to
+/// that ISM channel (so spectrum-planner hops can dodge it); the -1
+/// default keeps the legacy co-channel follow-the-victim jammer.
 rf::FaultSchedule make_fault_schedule(FaultScenario scenario, double start_s,
-                                      double duration_s);
+                                      double duration_s,
+                                      int jammer_channel = -1);
 
 /// Install `scenario` into `cfg`: forces the RF link on, scripts the fault
 /// over [start_s, start_s + duration_s), and arms the degradation stack

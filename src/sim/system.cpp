@@ -43,6 +43,10 @@ Transducer make_speaker(HardwareGrade grade, double fs, std::uint64_t seed) {
   throw InvariantError("unknown hardware grade");
 }
 
+}  // namespace
+
+namespace detail {
+
 /// The physically effective secondary path: the acoustic h_se cascaded
 /// with the processing-latency budget (ADC + DSP + DAC + speaker rise
 /// time) realized as a fractional delay. Keeping the budget inside the
@@ -65,7 +69,9 @@ std::vector<double> effective_secondary_ir(
   return acoustics::cascade_ir(ir, frac, ir.size() + frac.size());
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::effective_secondary_ir;
 
 SystemResult run_anc_simulation(audio::SoundSource& noise,
                                 const SystemConfig& config,
@@ -512,8 +518,10 @@ SystemResult run_device_simulation(audio::SoundSource& noise,
   result.noncausal_taps = device.noncausal_taps();
   result.calibration_error_db = device.calibration().final_error_db;
   result.handoff_count = device.handoff_count();
+  result.shadow_handoff_count = device.shadow_handoff_count();
   result.device_hold_count = device.hold_count();
   result.reacquisition_gap_s = device.last_reacquisition_gap_s();
+  result.max_reacquisition_gap_s = device.max_reacquisition_gap_s();
   result.relay_active_s.resize(relay_count);
   for (std::size_t k = 0; k < relay_count; ++k) {
     result.relay_active_s[k] = device.relay_active_s(k);

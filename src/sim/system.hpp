@@ -175,8 +175,10 @@ struct SystemResult {
   // Failover diagnostics (populated by run_device_simulation; the
   // single-link run_anc_simulation has no device state machine).
   std::size_t handoff_count = 0;        // kHandoff re-targets
+  std::size_t shadow_handoff_count = 0; // handoffs installed from the shadow
   std::size_t device_hold_count = 0;    // kHolding entries
   double reacquisition_gap_s = 0.0;     // last out-of-kRunning gap
+  double max_reacquisition_gap_s = 0.0; // longest such gap over the run
   std::vector<double> relay_active_s;   // kRunning seconds per relay
 };
 
@@ -230,5 +232,14 @@ struct DeviceSimConfig {
 /// device_hold_count) and the per-relay link-fault tallies are populated.
 SystemResult run_device_simulation(audio::SoundSource& noise,
                                    const DeviceSimConfig& config);
+
+namespace detail {
+/// The physically effective secondary path: the acoustic h_se cascaded
+/// with the processing-latency budget realized as a fractional delay.
+/// Shared by the offline, device, and mesh simulations so they model the
+/// identical plant.
+std::vector<double> effective_secondary_ir(const std::vector<double>& h_se,
+                                           double budget_samples);
+}  // namespace detail
 
 }  // namespace mute::sim

@@ -1,0 +1,140 @@
+// Edge-case pins for FxlmsEngine::retarget_noncausal (satellite S2): the
+// weight remap w_new[i] = w_old[i + shift] must zero-fill cleanly when the
+// shift moves partially or entirely outside the old tap window, in both
+// directions, and the remapped weights must become the rollback snapshot
+// so the divergence guard cannot resurrect stale taps.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/fxlms.hpp"
+
+namespace mute::adaptive {
+namespace {
+
+FxlmsEngine make_engine(std::size_t causal, std::size_t noncausal) {
+  FxlmsOptions opts;
+  opts.causal_taps = causal;
+  opts.noncausal_taps = noncausal;
+  opts.mu = 0.5;
+  opts.weight_norm_limit = 100.0;
+  return FxlmsEngine({1.0}, opts);
+}
+
+/// Distinct, recognizable weights: w[i] = i + 1.
+void load_ramp(FxlmsEngine& engine) {
+  std::vector<double> w(engine.total_taps());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<double>(i + 1);
+  }
+  engine.set_weights(w);
+}
+
+TEST(FxlmsRetarget, InRangeShiftRealignsWeights) {
+  auto engine = make_engine(6, 4);  // total 10
+  load_ramp(engine);
+  engine.retarget_noncausal(2, 3);  // total 8, src = i + 3
+  ASSERT_EQ(engine.total_taps(), 8u);
+  ASSERT_EQ(engine.noncausal_taps(), 2u);
+  const auto& w = engine.weights();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const std::size_t src = i + 3;
+    EXPECT_DOUBLE_EQ(w[i], src < 10 ? static_cast<double>(src + 1) : 0.0)
+        << "tap " << i;
+  }
+}
+
+TEST(FxlmsRetarget, PositiveShiftBeyondWindowZeroFills) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  // Every source index i + 10 falls past the old window: all-zero result,
+  // not garbage and not an out-of-range read.
+  engine.retarget_noncausal(4, 10);
+  for (const double w : engine.weights()) EXPECT_DOUBLE_EQ(w, 0.0);
+  EXPECT_DOUBLE_EQ(engine.weight_norm(), 0.0);
+}
+
+TEST(FxlmsRetarget, NegativeShiftBeyondWindowZeroFills) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  // src = i - 8 stays negative for the whole new window of 8 taps.
+  engine.retarget_noncausal(2, -8);
+  for (const double w : engine.weights()) EXPECT_DOUBLE_EQ(w, 0.0);
+}
+
+TEST(FxlmsRetarget, PartialNegativeShiftZeroFillsTheHead) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  engine.retarget_noncausal(4, -2);  // same total, shifted toward the past
+  const auto& w = engine.weights();
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  for (std::size_t i = 2; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], static_cast<double>(i - 2 + 1)) << "tap " << i;
+  }
+}
+
+TEST(FxlmsRetarget, GrowingTheWindowKeepsSurvivingTapsAligned) {
+  auto engine = make_engine(6, 2);  // total 8
+  load_ramp(engine);
+  // The new relay leads by more: the window grows by 4 noncausal taps and
+  // the surviving weights slide to stay aligned in source time.
+  engine.retarget_noncausal(6, -4);  // total 12, src = i - 4
+  const auto& w = engine.weights();
+  ASSERT_EQ(w.size(), 12u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(w[i], 0.0);
+  for (std::size_t i = 4; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], static_cast<double>(i - 4 + 1));
+  }
+}
+
+TEST(FxlmsRetarget, ShrinkingToZeroNoncausalDropsTheFutureTaps) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  // Degenerate to a conventional causal filter (N = 0): with shift N_old
+  // the causal taps survive unchanged.
+  engine.retarget_noncausal(0, 4);
+  const auto& w = engine.weights();
+  ASSERT_EQ(w.size(), 6u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], static_cast<double>(i + 4 + 1));
+  }
+}
+
+TEST(FxlmsRetarget, RemappedWeightsBecomeTheRollbackSnapshot) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  engine.retarget_noncausal(4, 10);  // all-zero remap
+  // The remap cleared the history and adopted the (zero) weights as the
+  // snapshot: subsequent adaptation starts from zero and stays finite —
+  // a stale 10-tap snapshot would either crash the guard (size mismatch)
+  // or resurrect weights from the wrong relay on rollback.
+  for (int t = 0; t < 2000; ++t) {
+    engine.push_reference(static_cast<Sample>((t % 7) * 0.05 - 0.15));
+    (void)engine.compute_antinoise();
+    engine.adapt(static_cast<Sample>((t % 5) * 0.04 - 0.08));
+  }
+  EXPECT_EQ(engine.rollback_count(), 0u);
+  EXPECT_LT(engine.weight_norm(), 100.0);
+}
+
+TEST(FxlmsRetarget, HistoryIsClearedByTheRemap) {
+  auto engine = make_engine(6, 4);
+  load_ramp(engine);
+  for (int t = 0; t < 100; ++t) {
+    engine.push_reference(0.5f);
+  }
+  EXPECT_GT(engine.reference_power(), 0.0);
+  engine.retarget_noncausal(4, 0);
+  // The old relay's stream must not leak through the handoff: the window
+  // and the NLMS power term restart empty.
+  EXPECT_DOUBLE_EQ(engine.reference_power(), 0.0);
+  for (const double x : engine.reference_window()) {
+    EXPECT_DOUBLE_EQ(x, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mute::adaptive

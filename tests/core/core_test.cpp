@@ -334,6 +334,23 @@ TEST(RelaySelect, StreamingWrapperFiresPeriodically) {
   EXPECT_EQ(selector.current()->chosen->relay_index, 0u);
 }
 
+TEST(RelaySelect, StandbyScoreCreditsLookaheadOnlyUpToSaturation) {
+  // The shadow budget goes to the best standby_score: confidence weights
+  // trust, and lookahead is credited only up to the tap-cap saturation
+  // point — a huge lead past it must not outrank a more confident relay.
+  const double needed = 0.01;
+  EXPECT_DOUBLE_EQ(standby_score({0, 0.005, 0.8}, needed), 0.8 * 0.5);
+  EXPECT_DOUBLE_EQ(standby_score({0, 0.01, 0.8}, needed), 0.8);
+  EXPECT_DOUBLE_EQ(standby_score({0, 0.05, 0.8}, needed), 0.8)
+      << "lead beyond the saturation point buys no score";
+  EXPECT_GT(standby_score({0, 0.01, 0.9}, needed),
+            standby_score({0, 0.05, 0.8}, needed));
+  // Non-positive lookahead is useless regardless of confidence.
+  EXPECT_DOUBLE_EQ(standby_score({0, 0.0, 1.0}, needed), 0.0);
+  EXPECT_DOUBLE_EQ(standby_score({0, -0.01, 1.0}, needed), 0.0);
+  EXPECT_THROW(standby_score({0, 0.01, 0.8}, 0.0), PreconditionError);
+}
+
 // --------------------------------------------------------------- LANC
 
 TEST(Lanc, TickObserveLoopCancelsSimplePlant) {

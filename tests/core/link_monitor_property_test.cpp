@@ -1,0 +1,154 @@
+// Property-style randomized-schedule test for LinkMonitor hysteresis
+// (satellite S3): across seeded random fault schedules, every fault burst
+// produces exactly one fault episode (no flap storms, no missed
+// detections), detection lands within the documented hold latencies, and
+// recovery honors recover_hold_s — the monitor never declares the link
+// healthy again until the evidence has been clean for the full hold.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/link_monitor.hpp"
+
+namespace mute::core {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+struct Burst {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool silent = false;  // silence fault vs. loud demod garbage
+};
+
+struct Transition {
+  double t_s = 0.0;
+  bool to_unhealthy = false;
+};
+
+/// One seeded run: healthy 0.1-rms white noise interleaved with randomized
+/// fault bursts (loud demod garbage or dead silence). Returns the schedule
+/// and the monitor's observed state transitions.
+void run_schedule(std::uint64_t seed, std::size_t burst_count,
+                  LinkMonitor& monitor, std::vector<Burst>& bursts,
+                  std::vector<Transition>& transitions) {
+  Rng schedule_rng(seed);
+  bursts.clear();
+  double t = 1.0;  // healthy warmup so the baseline tracker settles
+  for (std::size_t i = 0; i < burst_count; ++i) {
+    Burst b;
+    b.start_s = t;
+    b.silent = schedule_rng.bernoulli(0.5);
+    // Loud garbage flags within ~10 ms; silence must first decay the
+    // 20 ms silence EMA below threshold (~0.13 s) and then sustain the
+    // 150 ms silence hold, so silent bursts need ~0.29 s to be detectable
+    // at all — shorter ones are sub-detection by design, not test fodder.
+    b.end_s = t + (b.silent ? schedule_rng.uniform(0.33, 0.5)
+                            : schedule_rng.uniform(0.25, 0.45));
+    bursts.push_back(b);
+    // Healthy gap long enough to out-last recover_hold_s (0.15) with room.
+    t = b.end_s + schedule_rng.uniform(0.45, 0.8);
+  }
+  const double duration_s = t + 0.2;
+
+  Rng signal_rng(seed * 77 + 3);
+  transitions.clear();
+  bool prev_healthy = true;
+  const auto n = static_cast<std::size_t>(duration_s * kFs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double now = static_cast<double>(i) / kFs;
+    const Burst* active = nullptr;
+    for (const Burst& b : bursts) {
+      if (now >= b.start_s && now < b.end_s) {
+        active = &b;
+        break;
+      }
+    }
+    double x = 0.1 * signal_rng.gaussian();
+    if (active != nullptr) {
+      x = active->silent ? 0.0 : 0.7 * signal_rng.gaussian();
+    }
+    (void)monitor.process(static_cast<Sample>(x));
+    if (monitor.healthy() != prev_healthy) {
+      transitions.push_back({now, !monitor.healthy()});
+      prev_healthy = monitor.healthy();
+    }
+  }
+}
+
+TEST(LinkMonitorProperty, EveryBurstIsExactlyOneEpisode) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    LinkMonitor monitor(LinkMonitorOptions{}, kFs);
+    std::vector<Burst> bursts;
+    std::vector<Transition> transitions;
+    run_schedule(seed, 5, monitor, bursts, transitions);
+
+    // No missed detections, and no flap storms: one down transition and
+    // one up transition per burst, nothing else.
+    EXPECT_EQ(monitor.fault_episodes(), bursts.size()) << "seed " << seed;
+    std::size_t down = 0, up = 0;
+    for (const Transition& tr : transitions) {
+      tr.to_unhealthy ? ++down : ++up;
+    }
+    EXPECT_EQ(down, bursts.size()) << "seed " << seed;
+    EXPECT_EQ(up, bursts.size()) << "seed " << seed << ": monitor ended "
+                                 << "a run stuck unhealthy or flapped";
+    EXPECT_TRUE(monitor.healthy()) << "seed " << seed;
+  }
+}
+
+TEST(LinkMonitorProperty, DetectionAndRecoveryHoldsAreHonored) {
+  const LinkMonitorOptions opts;
+  for (std::uint64_t seed = 11; seed <= 20; ++seed) {
+    LinkMonitor monitor(opts, kFs);
+    std::vector<Burst> bursts;
+    std::vector<Transition> transitions;
+    run_schedule(seed, 4, monitor, bursts, transitions);
+    ASSERT_EQ(monitor.fault_episodes(), bursts.size()) << "seed " << seed;
+    ASSERT_EQ(transitions.size(), 2 * bursts.size()) << "seed " << seed;
+
+    for (std::size_t i = 0; i < bursts.size(); ++i) {
+      const Burst& b = bursts[i];
+      const Transition& flag = transitions[2 * i];
+      const Transition& recover = transitions[2 * i + 1];
+      ASSERT_TRUE(flag.to_unhealthy);
+      ASSERT_FALSE(recover.to_unhealthy);
+
+      // Detection lands inside the burst, within the documented holds:
+      // unhealthy_hold 8 ms for loud garbage; for dead air the 20 ms
+      // silence EMA's ~0.13 s decay below threshold plus the 150 ms
+      // silence hold (~0.28 s), plus margin.
+      EXPECT_GE(flag.t_s, b.start_s) << "seed " << seed << " burst " << i;
+      EXPECT_LE(flag.t_s, b.start_s + (b.silent ? 0.33 : 0.05))
+          << "seed " << seed << " burst " << i << " detected too slowly";
+
+      // Recovery must out-wait recover_hold_s of clean evidence AFTER the
+      // burst ends — an instantaneous flip here is the capture-transition
+      // bug the hold exists to prevent.
+      EXPECT_GE(recover.t_s, b.end_s + 0.9 * opts.recover_hold_s)
+          << "seed " << seed << " burst " << i << " recovered early";
+      EXPECT_LE(recover.t_s, b.end_s + 0.35)
+          << "seed " << seed << " burst " << i << " recovery stuck";
+    }
+  }
+}
+
+TEST(LinkMonitorProperty, ScheduleIsDeterministicPerSeed) {
+  LinkMonitor m1(LinkMonitorOptions{}, kFs);
+  LinkMonitor m2(LinkMonitorOptions{}, kFs);
+  std::vector<Burst> b1, b2;
+  std::vector<Transition> t1, t2;
+  run_schedule(42, 5, m1, b1, t1);
+  run_schedule(42, 5, m2, b2, t2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1[i].t_s, t2[i].t_s);
+    EXPECT_EQ(t1[i].to_unhealthy, t2[i].to_unhealthy);
+  }
+  EXPECT_EQ(m1.fault_episodes(), m2.fault_episodes());
+}
+
+}  // namespace
+}  // namespace mute::core

@@ -429,6 +429,99 @@ TEST(MuteDevice, TickStaysAllocationLeanInEveryState) {
   }
 }
 
+TEST(MuteDevice, StandbyListIsRefreshedByQualifiedRoundsAndAgesOutWithoutThem) {
+  // Pin the standby_max_age_s contract (satellite S1): a qualified
+  // selection round RESETS the list's age — so with confident rounds
+  // every period the list outlives max_age indefinitely — while rounds
+  // that rank nobody leave the age running until the list expires.
+  AdvWorld world({40, 12});
+  auto cfg = quick_config(2);
+  cfg.lanc.fxlms.mu = 1e-9;        // no cancellation: rounds stay confident
+  cfg.standby_max_age_s = 0.9;     // < two selection periods (0.5 s each)
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(2);
+  for (int t = 0; t < 30000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+  }
+  ASSERT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_EQ(device.standby().size(), 2u);
+  // Keep running well past max_age: every round re-qualifies both relays,
+  // so each refresh must reset the age and the list must survive.
+  for (int t = 0; t < 32000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+  }
+  EXPECT_EQ(device.standby().size(), 2u)
+      << "a qualified round must reset the standby age";
+
+  // Now starve the selector of correlation: each relay forwards healthy-
+  // power noise that is UNRELATED to the ambient, so every round loses
+  // confidence and ranks nobody (no refresh, and no adverse evidence
+  // either — unconfident rounds are what cancellation success looks
+  // like). The stale list must age out within standby_max_age_s.
+  // (Long enough that the boundary-straddling selection round — whose
+  // buffer is still mostly correlated and may refresh once more — is
+  // followed by a fully decorrelated round plus the full expiry age.)
+  Rng decorrelated(123);
+  for (int t = 0; t < 26000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    for (std::size_t k = 0; k < 2; ++k) {
+      relay_feed[k] = static_cast<Sample>(0.1 * decorrelated.gaussian());
+    }
+  }
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  EXPECT_TRUE(device.standby().empty())
+      << "measurements older than standby_max_age_s are guesses, not a "
+         "ranking";
+}
+
+TEST(MuteDevice, FlaggedRelayIsNeverRanked) {
+  // Satellite S1, flagged-relay-never-ranked rule: a relay whose link
+  // monitor currently flags it forwards squelched zeros to the selector,
+  // so it cannot earn a standby slot — the next qualified round drops it
+  // from the ranking while the healthy relays keep theirs.
+  AdvWorld world({40, 12});
+  auto cfg = quick_config(2);
+  cfg.lanc.fxlms.mu = 1e-9;  // keep every selection round confident
+  MuteDevice device(cfg);
+  Sample speaker = 0.0f, error = 0.0f;
+  Signal relay_feed(2);
+  for (int t = 0; t < 30000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+  }
+  ASSERT_EQ(device.state(), MuteDevice::State::kRunning);
+  ASSERT_EQ(*device.active_relay(), 0u);
+  bool relay1_ranked = false;
+  for (const auto& m : device.standby()) {
+    if (m.relay_index == 1) relay1_ranked = true;
+  }
+  ASSERT_TRUE(relay1_ranked) << "healthy relay 1 should hold a standby slot";
+
+  // Relay 1's receiver starts emitting demod garbage: the monitor flags
+  // it (noise burst), its sanitized feed goes to zeros, and within two
+  // selection rounds the refreshed ranking no longer contains it.
+  Rng garbage(77);
+  for (int t = 0; t < 20000; ++t) {
+    speaker = device.tick(relay_feed, error);
+    error = world.step(speaker, relay_feed);
+    relay_feed[1] = static_cast<Sample>(0.7 * garbage.gaussian());
+  }
+  ASSERT_NE(device.link_monitor(1), nullptr);
+  EXPECT_FALSE(device.link_monitor(1)->healthy());
+  ASSERT_FALSE(device.standby().empty())
+      << "relay 0 is healthy and confident; the list must refresh, not die";
+  for (const auto& m : device.standby()) {
+    EXPECT_NE(m.relay_index, 1u) << "flagged relay must never be ranked";
+  }
+  // The healthy active association is untouched throughout.
+  EXPECT_EQ(device.state(), MuteDevice::State::kRunning);
+  EXPECT_EQ(*device.active_relay(), 0u);
+}
+
 TEST(MuteDevice, TrainingToneOnlyDuringCalibration) {
   World world(1);
   MuteDevice device(quick_config(1));

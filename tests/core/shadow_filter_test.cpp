@@ -1,0 +1,301 @@
+// Unit tests for the shadow pre-convergence filter: prediction-NLMS
+// convergence on a synthetic linear mapping, the assign() keep/reset
+// semantics, the convergence latch (Schmitt hysteresis) that rides out
+// detection-lag creep, and the gross-error gate that shields converged
+// weights from the garbage a faulting primary emits before its monitor
+// flags it.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/shadow_filter.hpp"
+
+namespace mute::core {
+namespace {
+
+constexpr std::size_t kNoncausal = 4;
+constexpr std::size_t kCausal = 16;
+// The mapping the shadow must learn: y(t) = kGain * x(t - kLag) where the
+// lag is counted in pushes — window index kLag (newest-first) in the
+// shadow engine's reference window, comfortably inside [0, N + L).
+constexpr std::size_t kLag = 6;
+constexpr double kGain = 0.8;
+
+adaptive::FxlmsOptions engine_options() {
+  adaptive::FxlmsOptions opts;
+  opts.causal_taps = kCausal;
+  opts.noncausal_taps = 0;  // assign() sizes the window per target
+  opts.mu = 0.5;
+  return opts;
+}
+
+ShadowFilterOptions quick_options() {
+  ShadowFilterOptions opts;
+  opts.adapt_stride = 1;  // every sample adapts: unit tests want speed
+  opts.ema_alpha = 0.02;
+  opts.min_updates = 64;
+  return opts;
+}
+
+/// Drives a ShadowFilter against scripted target streams derived from one
+/// shared reference history.
+struct Driver {
+  explicit Driver(ShadowFilter& shadow, std::uint64_t seed = 7)
+      : shadow_(&shadow), rng_(seed) {}
+
+  double next_x() {
+    const double x = rng_.gaussian();
+    history_.push_back(x);
+    return x;
+  }
+
+  double delayed(std::size_t lag) const {
+    return history_.size() > lag
+               ? history_[history_.size() - 1 - lag]
+               : 0.0;
+  }
+
+  /// `steps` observations of the clean mapping y = kGain * x(t - kLag).
+  void run_clean(int steps) {
+    for (int i = 0; i < steps; ++i) {
+      const double x = next_x();
+      shadow_->observe(static_cast<Sample>(x),
+                       static_cast<Sample>(kGain * delayed(kLag)));
+    }
+  }
+
+  ShadowFilter* shadow_;
+  Rng rng_;
+  std::vector<double> history_;
+};
+
+TEST(ShadowFilter, ConvergesOnALinearMappingAndLearnsItsWeights) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  EXPECT_FALSE(shadow.converged());
+  EXPECT_DOUBLE_EQ(shadow.error_ratio(), 1.0);  // no data yet
+
+  Driver drive(shadow);
+  drive.run_clean(4000);
+
+  EXPECT_TRUE(shadow.converged());
+  EXPECT_LT(shadow.error_ratio(), 0.25);
+  EXPECT_EQ(shadow.relay(), 1u);
+  // The engine's weights ARE the mapping, in the same newest-first layout
+  // the LANC engine uses — that is what makes them installable.
+  const auto& w = shadow.engine().weights();
+  ASSERT_EQ(w.size(), kNoncausal + kCausal);
+  EXPECT_NEAR(w[kLag], kGain, 0.1);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i != kLag) {
+      EXPECT_LT(std::abs(w[i]), 0.15) << "tap " << i;
+    }
+  }
+}
+
+TEST(ShadowFilter, ReassigningTheSameTargetKeepsConvergence) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(2, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+  const std::size_t updates = shadow.update_count();
+
+  // A refreshed selection round re-ranks the same relay with a slightly
+  // different lookahead estimate: convergence must survive.
+  shadow.assign(2, kNoncausal, 0.0045);
+  EXPECT_TRUE(shadow.converged());
+  EXPECT_EQ(shadow.update_count(), updates);
+  EXPECT_DOUBLE_EQ(shadow.lookahead_s(), 0.0045);
+}
+
+TEST(ShadowFilter, AssigningANewRelayResets) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(2, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+
+  shadow.assign(3, kNoncausal, 0.004);  // different relay: start clean
+  EXPECT_FALSE(shadow.converged());
+  EXPECT_EQ(shadow.update_count(), 0u);
+  for (const double w : shadow.engine().weights()) {
+    EXPECT_DOUBLE_EQ(w, 0.0);
+  }
+
+  // So does a window resize on the same relay (the old weights predicted
+  // a different alignment).
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+  shadow.assign(3, kNoncausal + 2, 0.006);
+  EXPECT_FALSE(shadow.converged());
+  EXPECT_EQ(shadow.update_count(), 0u);
+}
+
+TEST(ShadowFilter, LatchRidesOutModerateCreepButNotGenuineDivergence) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+
+  // Dead-band regime: an unpredictable component pushes the error ratio
+  // past converged_ratio (0.25) but below diverged_ratio (0.5) — with the
+  // NLMS misadjustment from chasing the noise, err^2 ~ 1.6 * 0.16 and
+  // tgt^2 ~ 0.64 + 0.16, so ratio lands near 0.3. The latch must hold.
+  Rng noise(99);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = drive.next_x();
+    const double y = kGain * drive.delayed(kLag) + 0.4 * noise.gaussian();
+    shadow.observe(static_cast<Sample>(x), static_cast<Sample>(y));
+  }
+  EXPECT_GT(shadow.error_ratio(), 0.25);
+  EXPECT_LT(shadow.error_ratio(), 0.5);
+  EXPECT_TRUE(shadow.converged()) << "ratio in the hysteresis dead band "
+                                  << shadow.error_ratio()
+                                  << " must not unlatch";
+
+  // Genuine divergence: the target becomes an unrelated stream of similar
+  // power. The ratio climbs past diverged_ratio and the latch opens.
+  for (int i = 0; i < 4000; ++i) {
+    const double x = drive.next_x();
+    shadow.observe(static_cast<Sample>(x),
+                   static_cast<Sample>(kGain * noise.gaussian()));
+  }
+  EXPECT_GT(shadow.error_ratio(), 0.5);
+  EXPECT_FALSE(shadow.converged());
+}
+
+TEST(ShadowFilter, FreshFilterInTheDeadBandNeverLatches) {
+  // The asymmetry that makes the latch a Schmitt trigger: an error ratio
+  // inside the hysteresis band keeps an already-converged shadow latched
+  // (previous test) but must not latch a fresh one. A widened band keeps
+  // the steady ~0.32 ratio clear of the latch threshold so the property
+  // is not at the mercy of EMA fluctuation.
+  ShadowFilterOptions opts = quick_options();
+  opts.converged_ratio = 0.1;
+  opts.diverged_ratio = 0.5;
+  ShadowFilter shadow(engine_options(), opts);
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  Rng noise(99);
+  for (int i = 0; i < 8000; ++i) {
+    const double x = drive.next_x();
+    const double y = kGain * drive.delayed(kLag) + 0.4 * noise.gaussian();
+    shadow.observe(static_cast<Sample>(x), static_cast<Sample>(y));
+  }
+  EXPECT_GT(shadow.error_ratio(), 0.1);
+  EXPECT_LT(shadow.error_ratio(), 0.5);
+  EXPECT_FALSE(shadow.converged());
+}
+
+TEST(ShadowFilter, OutlierGateShieldsConvergenceFromLoudGarbage) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+  const std::size_t updates = shadow.update_count();
+  const double ratio = shadow.error_ratio();
+
+  // A short burst of loud garbage (the primary's feed during detection
+  // lag, e.g. demod noise under a jammer): every step is rejected — no
+  // weight update, no EMA update — as long as it stays shorter than
+  // min_updates. Constant ±10 magnitude keeps every error decisively
+  // above the gate (gaussian garbage would slip its small-|g| samples
+  // through a per-sample gate — that leak is the dead-band latch's job).
+  for (std::size_t i = 0; i < quick_options().min_updates; ++i) {
+    const double x = drive.next_x();
+    shadow.observe(static_cast<Sample>(x),
+                   static_cast<Sample>(i % 2 == 0 ? 10.0 : -10.0));
+  }
+  EXPECT_TRUE(shadow.converged());
+  EXPECT_EQ(shadow.update_count(), updates) << "gated steps must not count";
+  EXPECT_DOUBLE_EQ(shadow.error_ratio(), ratio);
+
+  // Back to the clean mapping: the shadow is still the filter it was.
+  drive.run_clean(512);
+  EXPECT_TRUE(shadow.converged());
+  EXPECT_LT(shadow.error_ratio(), 0.25);
+}
+
+TEST(ShadowFilter, PersistentRegimeChangeRestartsTheStatistics) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+
+  // The loud regime persists past min_updates consecutive rejections: this
+  // is not a glitch but a real change, so the gate un-wedges itself — the
+  // statistics restart (update_count back to zero) and adaptation resumes
+  // on the new regime.
+  for (int i = 0; i < 1000; ++i) {
+    const double x = drive.next_x();
+    shadow.observe(static_cast<Sample>(x),
+                   static_cast<Sample>(i % 2 == 0 ? 10.0 : -10.0));
+  }
+  EXPECT_FALSE(shadow.converged());
+  EXPECT_LT(shadow.update_count(), 1000u) << "statistics never restarted";
+  EXPECT_GT(shadow.update_count(), 0u) << "adaptation never resumed";
+}
+
+TEST(ShadowFilter, TrackAdvancesTheWindowWithoutAdapting) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+  const std::size_t updates = shadow.update_count();
+  const double ratio = shadow.error_ratio();
+
+  // A hold/handoff interval: the primary's fading feed is no target, but
+  // the window must stay contiguous with the live stream.
+  for (int i = 0; i < 200; ++i) {
+    shadow.track(static_cast<Sample>(drive.next_x()));
+  }
+  EXPECT_EQ(shadow.update_count(), updates);
+  EXPECT_DOUBLE_EQ(shadow.error_ratio(), ratio);
+  EXPECT_TRUE(shadow.converged());
+
+  // Resuming observation stays converged: track() kept the reference
+  // window sample-aligned with the stream.
+  drive.run_clean(512);
+  EXPECT_TRUE(shadow.converged());
+  EXPECT_LT(shadow.error_ratio(), 0.25);
+}
+
+TEST(ShadowFilter, ClearForgetsTheTarget) {
+  ShadowFilter shadow(engine_options(), quick_options());
+  shadow.assign(1, kNoncausal, 0.004);
+  Driver drive(shadow);
+  drive.run_clean(4000);
+  ASSERT_TRUE(shadow.converged());
+
+  shadow.clear();
+  EXPECT_FALSE(shadow.has_target());
+  EXPECT_FALSE(shadow.converged());
+  // Observations without a target are no-ops.
+  const std::size_t updates = shadow.update_count();
+  drive.run_clean(100);
+  EXPECT_EQ(shadow.update_count(), updates);
+}
+
+TEST(ShadowFilter, RejectsBrokenOptions) {
+  ShadowFilterOptions bad = quick_options();
+  bad.diverged_ratio = bad.converged_ratio;  // no hysteresis band
+  EXPECT_THROW(ShadowFilter(engine_options(), bad), PreconditionError);
+  bad = quick_options();
+  bad.outlier_gate = 1.0;
+  EXPECT_THROW(ShadowFilter(engine_options(), bad), PreconditionError);
+  bad = quick_options();
+  bad.adapt_stride = 0;
+  EXPECT_THROW(ShadowFilter(engine_options(), bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mute::core

@@ -108,6 +108,67 @@ TEST(Failover, RecoversWithinHalfASecondOfTheFault) {
   EXPECT_LT(window_db(r, kDuration - 1.5, kDuration), pre_db + 3.0);
 }
 
+/// Four-relay run for the shadow pre-convergence acceptance: same scene
+/// and fault, but enough rivals that the standby scorer has a real choice
+/// and the runner-up's shadow filter has had seconds to pre-converge.
+const SystemResult& shadow_run() {
+  static const SystemResult r = [] {
+    DeviceSimConfig cfg;
+    cfg.scene = acoustics::Scene::paper_office();
+    cfg.relay_positions = {{2.0, 2.5, 1.5},
+                           {2.2, 2.5, 1.5},
+                           {2.4, 2.5, 1.5},
+                           {2.6, 2.5, 1.5}};
+    cfg.duration_s = 12.0;
+    cfg.seed = 11;
+    cfg.relay_faults = {make_fault_schedule(FaultScenario::kRelayDropout,
+                                            kFaultStart, kFaultLen)};
+    cfg.device.calibration_s = 1.0;
+    cfg.device.selection_period_s = 0.5;
+    cfg.device.hold_timeout_s = 0.3;
+    cfg.device.lanc.fxlms.mu = 0.3;
+    cfg.device.lanc.fxlms.leakage = 2e-4;
+    audio::WhiteNoiseSource noise(0.1, 1011);
+    return run_device_simulation(noise, cfg);
+  }();
+  return r;
+}
+
+TEST(Failover, ShadowPreConvergenceCutsTheGapToTensOfMilliseconds) {
+  // ISSUE acceptance (tentpole, part 1): with the standby's shadow filter
+  // trickle-adapted in the background, the handoff installs an already
+  // converged filter and skips the hold timeout — the re-acquisition gap
+  // collapses from ~0.33 s (warm standby, cold filter) to tens of ms.
+  const auto& r = shadow_run();
+
+  const double pre_db = window_db(r, kFaultStart - 1.5, kFaultStart - 0.1);
+  EXPECT_LT(pre_db, -3.0) << "system never converged; test is vacuous";
+
+  EXPECT_GE(r.shadow_handoff_count, 1u)
+      << "handoff fell back to the cold-filter path; the shadow either "
+         "never converged or was disqualified";
+  EXPECT_LE(r.max_reacquisition_gap_s, 0.05)
+      << "shadow handoff did not beat the hold timeout";
+
+  // The fast path is not allowed to trade depth for speed: recovery is as
+  // deep as the warm path's, and quick.
+  double recover_s = -1.0;
+  for (double t = kFaultStart; t + 0.25 <= 12.0; t += 0.05) {
+    if (window_db(r, t, t + 0.25) <= pre_db + 3.0) {
+      recover_s = t - kFaultStart;
+      break;
+    }
+  }
+  ASSERT_GE(recover_s, 0.0) << "cancellation never recovered";
+  EXPECT_LE(recover_s, 0.25);
+  EXPECT_LT(window_db(r, 10.5, 12.0), pre_db + 3.0);
+
+  for (double t = 1.6; t + 0.25 <= 12.0; t += 0.25) {
+    EXPECT_LT(window_db(r, t, t + 0.25), 1.0)
+        << "ear louder than passive in window starting at t=" << t;
+  }
+}
+
 TEST(Failover, EarNeverExceedsPassive) {
   const auto& r = failover_run();
   // Every 0.25 s window after the device starts running (calibration 1 s

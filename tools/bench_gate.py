@@ -41,6 +41,7 @@ PINNED = [
     "BM_FirFilterPerSample/1024",
     "BM_FxlmsCycle/1024",
     "BM_AdaptiveFirStep/1024",
+    "BM_ShadowObserve/704",
 ]
 
 

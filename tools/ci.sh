@@ -12,12 +12,17 @@
 #                 plus the rt-lint RT-safety gate)
 #   5. perf     : micro_dsp hot-path benches + tools/bench_gate.py against
 #                 the committed BENCH_baseline.json (DESIGN.md §10)
+#   6. soak-smoke : bench/chaos_soak on a short multi-seed schedule — the
+#                 mesh-resilience invariants (never louder than passive,
+#                 bounded re-acquisition, allocation-free steady state)
+#                 under randomized fault chaos; writes soak-report.json
+#                 (DESIGN.md §12)
 #
 # `rt-lint` is also available standalone (subset of analyze): it re-runs
 # only the static RT-safety gate, seconds instead of a full tidy sweep.
 #
-# Usage: tools/ci.sh [plain|sanitize|tsan|analyze|rt-lint|perf]...
-#        (default: plain sanitize tsan analyze perf)
+# Usage: tools/ci.sh [plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke]...
+#        (default: plain sanitize tsan analyze perf soak-smoke)
 #
 # Every ctest run carries --timeout 900: a hung test (deadlock, runaway
 # convergence loop) fails after 15 minutes instead of wedging the job.
@@ -61,7 +66,7 @@ run_rt_lint() {
 
 # Filter shared with the perf-smoke workflow job: calibration + every
 # benchmark bench_gate.py pins (plus their other tap sizes, informational).
-BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_AdaptiveFirStep'
+BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_AdaptiveFirStep|BM_ShadowObserve'
 
 run_perf() {
   echo "=== job: perf smoke (bench_gate) ==="
@@ -74,8 +79,19 @@ run_perf() {
   python3 tools/bench_gate.py bench-current.json
 }
 
+# Short but real chaos: 3 seeds of randomized fault episodes on a 4-relay
+# mesh (~30 s on one core, seeds run in parallel where cores allow). Exits
+# non-zero on any invariant violation; the JSON verdict is the CI artifact.
+run_soak_smoke() {
+  echo "=== job: soak smoke (chaos invariants) ==="
+  cmake --preset dev
+  cmake --build --preset dev -j "$JOBS" --target chaos_soak
+  ./build-dev/bench/chaos_soak \
+    --relays 4 --duration 8 --seeds 3 --json soak-report.json
+}
+
 if [[ $# -eq 0 ]]; then
-  set -- plain sanitize tsan analyze perf
+  set -- plain sanitize tsan analyze perf soak-smoke
 fi
 
 for job in "$@"; do
@@ -86,9 +102,10 @@ for job in "$@"; do
     analyze) run_analyze ;;
     rt-lint) run_rt_lint ;;
     perf) run_perf ;;
+    soak-smoke) run_soak_smoke ;;
     *)
       echo "unknown job: $job" \
-        "(expected plain|sanitize|tsan|analyze|rt-lint|perf)" >&2
+        "(expected plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke)" >&2
       exit 2
       ;;
   esac

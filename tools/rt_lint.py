@@ -122,6 +122,11 @@ REQUIRED_ROOTS = [
     "mute::dsp::kernels::axpy_leaky_norm",
     "mute::dsp::kernels::scaled_accumulate",
     "mute::rf::FaultInjector::process",
+    "mute::core::ShadowFilter::observe",
+    "mute::core::ShadowFilter::track",
+    "mute::rf::SpectrumPlanner::note_adverse",
+    "mute::rf::SpectrumPlanner::note_clean",
+    "mute::rf::SpectrumPlanner::plan",
 ]
 
 CONTROL_KEYWORDS = {
