@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rt_annotations.hpp"
 #include "common/types.hpp"
 
 namespace mute::adaptive {
@@ -27,7 +28,10 @@ class BlockFdaf {
     std::size_t taps = 512;   // filter length (rounded up to a power of 2)
     double mu = 0.5;          // per-bin NLMS step
     double epsilon = 1e-8;    // bin-power regularizer
-    double power_alpha = 0.9; // EMA for the per-bin power estimate
+    double power_alpha = 0.9; // EMA for the per-bin power estimate; seeded
+                              // from the first block's own power so the
+                              // first update never normalizes by epsilon
+                              // alone (cold-start divergence)
     bool constrained = true;  // gradient constraint (zero the tail)
   };
 
@@ -39,8 +43,10 @@ class BlockFdaf {
   /// Process one block of exactly block_size() samples: returns the
   /// prediction y for the block and adapts toward `desired`.
   /// (System-identification usage: x = input, desired = plant output.)
-  void step_block(std::span<const Sample> x, std::span<const Sample> desired,
-                  std::span<Sample> error_out);
+  /// Allocation-free: all FFT scratch is preallocated at construction.
+  MUTE_RT_SAFE void step_block(std::span<const Sample> x,
+                               std::span<const Sample> desired,
+                               std::span<Sample> error_out);
 
   /// Convenience: run over whole records (length truncated to a multiple
   /// of the block size); returns the error signal.
@@ -48,6 +54,14 @@ class BlockFdaf {
 
   /// Current time-domain weights (length tap_count()).
   std::vector<double> weights() const;
+
+  /// Full 2B-tap circular response (diagnostics): taps [0, block) are the
+  /// causal filter weights() returns; taps [block, 2B) are the wraparound
+  /// half the gradient constraint exists to suppress. A constrained
+  /// filter keeps that half identically zero (the constrained gradient
+  /// never writes it); unconstrained adaptation leaks transient and
+  /// gradient-noise energy there.
+  std::vector<double> weights_full() const;
 
   void reset();
 
@@ -58,6 +72,12 @@ class BlockFdaf {
   ComplexSignal w_;        // frequency-domain weights
   std::vector<double> x_prev_;  // previous input block (overlap-save)
   std::vector<double> bin_power_;
+  bool power_primed_ = false;  // bin_power_ seeded from a real block yet?
+  // Preallocated FFT scratch (step_block is RT-safe / allocation-free).
+  ComplexSignal xf_;
+  ComplexSignal yf_;
+  ComplexSignal ef_;
+  ComplexSignal grad_;
 };
 
 }  // namespace mute::adaptive

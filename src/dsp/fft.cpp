@@ -1,6 +1,8 @@
 #include "dsp/fft.hpp"
 
+#include <array>
 #include <cmath>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
@@ -20,21 +22,81 @@ void bit_reverse_permute(std::span<Complex> data) {
   }
 }
 
+// Forward twiddle table for every stage length up to kMaxTwiddleFft,
+// shared by all transforms: tw[len / 2 + k] = exp(-2*pi*i * k / len) for
+// k in [0, len/2) (the inverse transform conjugates on the fly). Stage
+// slices never overlap — offsets 1, 2, 4, ... partition [1, n). Static
+// storage filled once under std::call_once: fft_inplace stays heap-
+// allocation-free and safe to call from the RT path; larger (control-
+// plane-sized) transforms fall back to the twiddle recurrence.
+constexpr std::size_t kMaxTwiddleFft = 8192;
+std::array<double, 2 * kMaxTwiddleFft> g_twiddles;
+std::once_flag g_twiddles_once;
+
+void build_twiddles() {
+  for (std::size_t len = 2; len <= kMaxTwiddleFft; len <<= 1) {
+    double* t = g_twiddles.data() + len;  // complex offset len/2
+    const double angle = -kTwoPi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      t[2 * k] = std::cos(angle * static_cast<double>(k));
+      t[2 * k + 1] = std::sin(angle * static_cast<double>(k));
+    }
+  }
+}
+
+// Manual (re, im) butterflies: std::complex operator* routes through the
+// NaN-propagating __muldc3 helper, and the twiddle *recurrence* forms a
+// serial dependency chain through every butterfly — together they made
+// this the hot-path bottleneck (the block LANC engine is FFT-bound).
 void fft_core(std::span<Complex> data, bool inverse) {
   const std::size_t n = data.size();
   ensure(is_pow2(n), "FFT length must be a power of two");
   bit_reverse_permute(data);
+  auto* d = reinterpret_cast<double*>(data.data());
+  const bool use_table = n <= kMaxTwiddleFft;
+  if (use_table) std::call_once(g_twiddles_once, build_twiddles);
+  const double sign = inverse ? -1.0 : 1.0;  // conjugate table for inverse
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+    const std::size_t half = len / 2;
+    if (use_table) {
+      const double* t = g_twiddles.data() + len;
+      for (std::size_t i = 0; i < n; i += len) {
+        double* pa = d + 2 * i;
+        double* pb = d + 2 * (i + half);
+        for (std::size_t k = 0; k < half; ++k) {
+          const double wr = t[2 * k];
+          const double wi = sign * t[2 * k + 1];
+          const double xr = pb[2 * k], xi = pb[2 * k + 1];
+          const double vr = xr * wr - xi * wi;
+          const double vi = xr * wi + xi * wr;
+          const double ur = pa[2 * k], ui = pa[2 * k + 1];
+          pa[2 * k] = ur + vr;
+          pa[2 * k + 1] = ui + vi;
+          pb[2 * k] = ur - vr;
+          pb[2 * k + 1] = ui - vi;
+        }
+      }
+    } else {
+      const double angle =
+          (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+      const double wr0 = std::cos(angle), wi0 = std::sin(angle);
+      for (std::size_t i = 0; i < n; i += len) {
+        double wr = 1.0, wi = 0.0;
+        double* pa = d + 2 * i;
+        double* pb = d + 2 * (i + half);
+        for (std::size_t k = 0; k < half; ++k) {
+          const double xr = pb[2 * k], xi = pb[2 * k + 1];
+          const double vr = xr * wr - xi * wi;
+          const double vi = xr * wi + xi * wr;
+          const double ur = pa[2 * k], ui = pa[2 * k + 1];
+          pa[2 * k] = ur + vr;
+          pa[2 * k + 1] = ui + vi;
+          pb[2 * k] = ur - vr;
+          pb[2 * k + 1] = ui - vi;
+          const double nwr = wr * wr0 - wi * wi0;
+          wi = wr * wi0 + wi * wr0;
+          wr = nwr;
+        }
       }
     }
   }

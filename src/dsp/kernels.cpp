@@ -28,6 +28,15 @@
     !defined(__clang__) && !defined(__SANITIZE_THREAD__)
 #define MUTE_KERNEL_CLONES \
   __attribute__((target_clones("default", "avx2", "avx512f")))
+#elif defined(__aarch64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) && __GNUC__ >= 14
+// ARM relay/edge hardware: GCC 14 grew aarch64 function multi-versioning.
+// Advanced SIMD (NEON) is the mandatory baseline lane set on aarch64, so
+// the "default" clone is already NEON-vectorized by the same eight-lane
+// accumulator structure; the extra clones cover SVE-class edge silicon the
+// way avx2/avx512f cover wide x86, behind the identical ifunc dispatch.
+#define MUTE_KERNEL_CLONES \
+  __attribute__((target_clones("default", "sve", "sve2")))
 #else
 #define MUTE_KERNEL_CLONES
 #endif
@@ -128,6 +137,74 @@ void scaled_accumulate(double* acc_in, const double* x_in, double s,
   for (std::size_t i = 0; i < n; ++i) acc[i] += s * x[i];
 }
 
+// The interleaved-complex family below has no reduction, so no lane
+// splitting is needed: each complex element is an independent 4-flop (or
+// 6-flop) update the vectorizer can pack directly from the interleaved
+// layout. `n` counts complex elements; the pointers address 2n doubles.
+
+MUTE_KERNEL_CLONES
+void cmul_accumulate(double* acc_in, const double* a_in, const double* b_in,
+                     std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT acc = acc_in;
+  const double* MUTE_KERNEL_RESTRICT a = a_in;
+  const double* MUTE_KERNEL_RESTRICT b = b_in;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a[2 * k], ai = a[2 * k + 1];
+    const double br = b[2 * k], bi = b[2 * k + 1];
+    acc[2 * k] += ar * br - ai * bi;
+    acc[2 * k + 1] += ar * bi + ai * br;
+  }
+}
+
+MUTE_KERNEL_CLONES
+void cmul_conj_scaled(double* out_in, const double* a_in, const double* b_in,
+                      const double* power_in, double eps, std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT out = out_in;
+  const double* MUTE_KERNEL_RESTRICT a = a_in;
+  const double* MUTE_KERNEL_RESTRICT b = b_in;
+  const double* MUTE_KERNEL_RESTRICT power = power_in;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a[2 * k], ai = a[2 * k + 1];
+    const double br = b[2 * k], bi = b[2 * k + 1];
+    const double s = 1.0 / (power[k] + eps);
+    out[2 * k] = (ar * br + ai * bi) * s;
+    out[2 * k + 1] = (ar * bi - ai * br) * s;
+  }
+}
+
+MUTE_KERNEL_CLONES
+void magsq_accumulate(double* acc_in, const double* z_in, std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT acc = acc_in;
+  const double* MUTE_KERNEL_RESTRICT z = z_in;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc[k] += z[2 * k] * z[2 * k] + z[2 * k + 1] * z[2 * k + 1];
+  }
+}
+
+MUTE_KERNEL_CLONES
+void magsq_update(double* acc_in, const double* z_new_in,
+                  const double* z_old_in, std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT acc = acc_in;
+  const double* MUTE_KERNEL_RESTRICT zn = z_new_in;
+  const double* MUTE_KERNEL_RESTRICT zo = z_old_in;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc[k] += zn[2 * k] * zn[2 * k] + zn[2 * k + 1] * zn[2 * k + 1] -
+              zo[2 * k] * zo[2 * k] - zo[2 * k + 1] * zo[2 * k + 1];
+  }
+}
+
+MUTE_KERNEL_CLONES
+void window_into_complex(double* out_in, const double* w_in, const float* x_in,
+                         std::size_t n) {
+  double* MUTE_KERNEL_RESTRICT out = out_in;
+  const double* MUTE_KERNEL_RESTRICT w = w_in;
+  const float* MUTE_KERNEL_RESTRICT x = x_in;
+  for (std::size_t k = 0; k < n; ++k) {
+    out[2 * k] = w[k] * static_cast<double>(x[k]);
+    out[2 * k + 1] = 0.0;
+  }
+}
+
 namespace naive {
 
 double dot(const double* a, const double* b, std::size_t n) {
@@ -154,6 +231,50 @@ double axpy_leaky_norm(double* w, const double* x, double keep, double g,
 
 void scaled_accumulate(double* acc, const double* x, double s, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) acc[i] += s * x[i];
+}
+
+void cmul_accumulate(double* acc, const double* a, const double* b,
+                     std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a[2 * k], ai = a[2 * k + 1];
+    const double br = b[2 * k], bi = b[2 * k + 1];
+    acc[2 * k] += ar * br - ai * bi;
+    acc[2 * k + 1] += ar * bi + ai * br;
+  }
+}
+
+void cmul_conj_scaled(double* out, const double* a, const double* b,
+                      const double* power, double eps, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a[2 * k], ai = a[2 * k + 1];
+    const double br = b[2 * k], bi = b[2 * k + 1];
+    const double s = 1.0 / (power[k] + eps);
+    out[2 * k] = (ar * br + ai * bi) * s;
+    out[2 * k + 1] = (ar * bi - ai * br) * s;
+  }
+}
+
+void magsq_accumulate(double* acc, const double* z, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    acc[k] += z[2 * k] * z[2 * k] + z[2 * k + 1] * z[2 * k + 1];
+  }
+}
+
+void magsq_update(double* acc, const double* z_new, const double* z_old,
+                  std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    acc[k] += z_new[2 * k] * z_new[2 * k] +
+              z_new[2 * k + 1] * z_new[2 * k + 1] -
+              z_old[2 * k] * z_old[2 * k] - z_old[2 * k + 1] * z_old[2 * k + 1];
+  }
+}
+
+void window_into_complex(double* out, const double* w, const float* x,
+                         std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[2 * k] = w[k] * static_cast<double>(x[k]);
+    out[2 * k + 1] = 0.0;
+  }
 }
 
 }  // namespace naive

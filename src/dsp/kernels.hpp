@@ -21,6 +21,33 @@
 ///   scaled_accumulate(acc, ...)  acc[i] += s * x[i] — the tap-major inner
 ///                                step of block FIR filtering. No aliasing.
 ///
+/// The frequency-domain block engines (adaptive::BlockFdaf,
+/// adaptive::FdFxlmsEngine) and the Welch estimators add a second family
+/// operating on interleaved complex data. A `z` argument is an interleaved
+/// (re, im) double array — the guaranteed memory layout of
+/// std::complex<double> — and `n` counts COMPLEX elements (2n doubles):
+///
+///   cmul_accumulate(acc, a, b, n)       acc[k] += a[k] * b[k] (complex
+///                                       multiply) — the per-partition
+///                                       spectral convolution step.
+///   cmul_conj_scaled(out, a, b, p, eps, n)
+///                                       out[k] = conj(a[k]) * b[k]
+///                                                / (p[k] + eps) — the
+///                                       per-bin-normalized FDAF gradient
+///                                       (p is a real per-bin power array).
+///   magsq_accumulate(acc, z, n)         acc[k] += |z[k]|^2 (acc is real) —
+///                                       Welch periodogram accumulation and
+///                                       exact bin-power re-syncs.
+///   magsq_update(acc, z_new, z_old, n)  acc[k] += |z_new[k]|^2
+///                                                - |z_old[k]|^2 — the O(F)
+///                                       sliding-window bin-power update of
+///                                       the partitioned engines.
+///   window_into_complex(out, w, x, n)   out[k] = (w[k] * x[k], 0) — the
+///                                       windowed real-to-complex load that
+///                                       fronts every FFT in the spectral
+///                                       estimators (x is float Sample
+///                                       data, w the double window).
+///
 /// Numerical contract: results are deterministic for a fixed build (fixed
 /// accumulation order — wide independent partial sums, folded in a fixed
 /// sequence) but are NOT bit-identical to the single-accumulator naive::
@@ -40,6 +67,20 @@ MUTE_RT_SAFE double axpy_leaky_norm(double* w, const double* x, double keep,
 MUTE_RT_SAFE void scaled_accumulate(double* acc, const double* x, double s,
                                     std::size_t n);
 
+// Interleaved-complex kernels (n counts complex elements; no aliasing
+// between the output and any input).
+MUTE_RT_SAFE void cmul_accumulate(double* acc, const double* a,
+                                  const double* b, std::size_t n);
+MUTE_RT_SAFE void cmul_conj_scaled(double* out, const double* a,
+                                   const double* b, const double* power,
+                                   double eps, std::size_t n);
+MUTE_RT_SAFE void magsq_accumulate(double* acc, const double* z,
+                                   std::size_t n);
+MUTE_RT_SAFE void magsq_update(double* acc, const double* z_new,
+                               const double* z_old, std::size_t n);
+MUTE_RT_SAFE void window_into_complex(double* out, const double* w,
+                                      const float* x, std::size_t n);
+
 /// Reference implementations: textbook single-accumulator loops, kept for
 /// equivalence testing and as the documentation of record for the kernel
 /// semantics.
@@ -50,6 +91,15 @@ double energy(const double* x, std::size_t n);
 double axpy_leaky_norm(double* w, const double* x, double keep, double g,
                        std::size_t n);
 void scaled_accumulate(double* acc, const double* x, double s, std::size_t n);
+void cmul_accumulate(double* acc, const double* a, const double* b,
+                     std::size_t n);
+void cmul_conj_scaled(double* out, const double* a, const double* b,
+                      const double* power, double eps, std::size_t n);
+void magsq_accumulate(double* acc, const double* z, std::size_t n);
+void magsq_update(double* acc, const double* z_new, const double* z_old,
+                  std::size_t n);
+void window_into_complex(double* out, const double* w, const float* x,
+                         std::size_t n);
 
 }  // namespace naive
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/kernels.hpp"
 
 namespace mute::dsp {
 
@@ -28,9 +29,18 @@ Segmenter make_segmenter(std::size_t n, std::size_t segment) {
 
 double Psd::band_power(double low_hz, double high_hz) const {
   ensure(low_hz <= high_hz, "band must satisfy low <= high");
+  // Bands are half-open [low, high) except at the top of the one-sided
+  // grid: the Nyquist bin belongs to a band whose upper edge reaches it
+  // (SignatureExtractor convention — the last band closes at Nyquist).
+  // Plain [low, high) would silently drop the Nyquist bin for a band
+  // ending exactly at fs/2, and no later band can ever reclaim it.
   double total = 0.0;
   for (std::size_t i = 0; i < freq_hz.size(); ++i) {
-    if (freq_hz[i] >= low_hz && freq_hz[i] < high_hz) total += power[i];
+    const bool top_bin = (i + 1 == freq_hz.size());
+    if (freq_hz[i] >= low_hz &&
+        (freq_hz[i] < high_hz || (top_bin && freq_hz[i] <= high_hz))) {
+      total += power[i];
+    }
   }
   return total;
 }
@@ -67,20 +77,20 @@ Psd welch_psd(std::span<const Sample> x, double sample_rate,
   ComplexSignal buf(segment);
   for (std::size_t s = 0; s < seg.count; ++s) {
     const std::size_t off = s * seg.hop;
-    for (std::size_t i = 0; i < segment; ++i) {
-      buf[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
-    }
+    kernels::window_into_complex(reinterpret_cast<double*>(buf.data()),
+                                 w.data(), x.data() + off, segment);
     fft_inplace(buf);
-    for (std::size_t k = 0; k <= half; ++k) {
-      const double mag2 = std::norm(buf[k]);
-      // One-sided: double interior bins.
-      const double scale = (k == 0 || k == half) ? 1.0 : 2.0;
-      out.power[k] += scale * mag2;
-    }
+    kernels::magsq_accumulate(out.power.data(),
+                              reinterpret_cast<const double*>(buf.data()),
+                              half + 1);
   }
+  // One-sided doubling of interior bins folded into the final scaling pass
+  // (mathematically identical to doubling per segment).
   const double norm =
       1.0 / (static_cast<double>(seg.count) * wpow * sample_rate);
-  for (double& p : out.power) p *= norm;
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.power[k] *= (k == 0 || k == half) ? norm : 2.0 * norm;
+  }
   return out;
 }
 
@@ -105,17 +115,21 @@ CrossSpectrum cross_spectrum(std::span<const Sample> x,
   ComplexSignal bx(segment), by(segment);
   for (std::size_t s = 0; s < seg.count; ++s) {
     const std::size_t off = s * seg.hop;
-    for (std::size_t i = 0; i < segment; ++i) {
-      bx[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
-      by[i] = Complex(w[i] * static_cast<double>(y[off + i]), 0.0);
-    }
+    kernels::window_into_complex(reinterpret_cast<double*>(bx.data()),
+                                 w.data(), x.data() + off, segment);
+    kernels::window_into_complex(reinterpret_cast<double*>(by.data()),
+                                 w.data(), y.data() + off, segment);
     fft_inplace(bx);
     fft_inplace(by);
     for (std::size_t k = 0; k <= half; ++k) {
       out.cross[k] += std::conj(bx[k]) * by[k];
-      out.sxx[k] += std::norm(bx[k]);
-      out.syy[k] += std::norm(by[k]);
     }
+    kernels::magsq_accumulate(out.sxx.data(),
+                              reinterpret_cast<const double*>(bx.data()),
+                              half + 1);
+    kernels::magsq_accumulate(out.syy.data(),
+                              reinterpret_cast<const double*>(by.data()),
+                              half + 1);
   }
   const double inv = 1.0 / static_cast<double>(seg.count);
   for (std::size_t k = 0; k <= half; ++k) {
@@ -155,9 +169,8 @@ std::vector<std::vector<double>> stft_magnitude(std::span<const Sample> x,
   const std::size_t half = frame / 2;
   ComplexSignal buf(frame);
   for (std::size_t off = 0; off + frame <= x.size(); off += hop) {
-    for (std::size_t i = 0; i < frame; ++i) {
-      buf[i] = Complex(w[i] * static_cast<double>(x[off + i]), 0.0);
-    }
+    kernels::window_into_complex(reinterpret_cast<double*>(buf.data()),
+                                 w.data(), x.data() + off, frame);
     fft_inplace(buf);
     std::vector<double> mag(half + 1);
     for (std::size_t k = 0; k <= half; ++k) mag[k] = std::abs(buf[k]);
@@ -172,8 +185,12 @@ std::vector<double> band_energies(
   std::vector<double> out(bands.size(), 0.0);
   for (std::size_t k = 0; k < magnitude_frame.size(); ++k) {
     const double f = bin_frequency(k, fft_size, sample_rate);
+    // Half-open [lo, hi) bands, except the Nyquist bin joins a band whose
+    // upper edge reaches it (same top-of-grid closure as Psd::band_power).
+    const bool top_bin = (k + 1 == magnitude_frame.size());
     for (std::size_t b = 0; b < bands.size(); ++b) {
-      if (f >= bands[b].first && f < bands[b].second) {
+      if (f >= bands[b].first &&
+          (f < bands[b].second || (top_bin && f <= bands[b].second))) {
         out[b] += magnitude_frame[k] * magnitude_frame[k];
       }
     }

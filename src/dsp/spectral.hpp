@@ -15,7 +15,9 @@ struct Psd {
   std::vector<double> power;     // linear power per bin (V^2/Hz scale-free)
   double sample_rate = 0.0;
 
-  /// Total power within [low_hz, high_hz].
+  /// Total power within [low_hz, high_hz): half-open, except the Nyquist
+  /// bin is included when high_hz >= fs/2 (so a band ending exactly at
+  /// Nyquist counts it — the SignatureExtractor last-band convention).
   double band_power(double low_hz, double high_hz) const;
 
   /// Power of the bin nearest to `freq` (for tonal checks).
@@ -55,8 +57,10 @@ std::vector<std::vector<double>> stft_magnitude(
     std::span<const Sample> x, std::size_t frame, std::size_t hop,
     WindowType window = WindowType::kHann);
 
-/// Energy in `bands` (pairs of [lo, hi) Hz) of a single magnitude frame
-/// produced by stft_magnitude with the given frame size and sample rate.
+/// Energy in `bands` (pairs of [lo, hi) Hz — half-open, except the
+/// Nyquist bin joins a band whose upper edge reaches fs/2) of a single
+/// magnitude frame produced by stft_magnitude with the given frame size
+/// and sample rate.
 std::vector<double> band_energies(std::span<const double> magnitude_frame,
                                   double sample_rate, std::size_t fft_size,
                                   std::span<const std::pair<double, double>> bands);

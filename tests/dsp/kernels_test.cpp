@@ -91,6 +91,96 @@ TEST(Kernels, ScaledAccumulateMatchesNaiveExactly) {
   }
 }
 
+TEST(Kernels, CmulAccumulateMatchesNaive) {
+  for (const std::size_t n : kSizes) {
+    auto acc_fast = random_vec(2 * n, 800 + static_cast<unsigned>(n));
+    auto acc_ref = acc_fast;
+    const auto a = random_vec(2 * n, 810 + static_cast<unsigned>(n));
+    const auto b = random_vec(2 * n, 820 + static_cast<unsigned>(n));
+    k::cmul_accumulate(acc_fast.data(), a.data(), b.data(), n);
+    k::naive::cmul_accumulate(acc_ref.data(), a.data(), b.data(), n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      EXPECT_NEAR(acc_fast[i], acc_ref[i], 1e-12 * (std::abs(acc_ref[i]) + 1.0))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, CmulConjScaledMatchesNaive) {
+  for (const std::size_t n : kSizes) {
+    std::vector<double> out_fast(2 * n, -1.0);
+    std::vector<double> out_ref(2 * n, -2.0);
+    const auto a = random_vec(2 * n, 830 + static_cast<unsigned>(n));
+    const auto b = random_vec(2 * n, 840 + static_cast<unsigned>(n));
+    auto power = random_vec(n, 850 + static_cast<unsigned>(n));
+    for (auto& p : power) p = p * p;  // powers are non-negative
+    const double eps = 1e-8;
+    k::cmul_conj_scaled(out_fast.data(), a.data(), b.data(), power.data(), eps,
+                        n);
+    k::naive::cmul_conj_scaled(out_ref.data(), a.data(), b.data(),
+                               power.data(), eps, n);
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      EXPECT_NEAR(out_fast[i], out_ref[i],
+                  1e-12 * (std::abs(out_ref[i]) + 1.0))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, MagsqAccumulateAndUpdateMatchNaive) {
+  for (const std::size_t n : kSizes) {
+    auto acc_fast = random_vec(n, 860 + static_cast<unsigned>(n));
+    auto acc_ref = acc_fast;
+    const auto z = random_vec(2 * n, 870 + static_cast<unsigned>(n));
+    k::magsq_accumulate(acc_fast.data(), z.data(), n);
+    k::naive::magsq_accumulate(acc_ref.data(), z.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(acc_fast[i], acc_ref[i], 1e-12 * (std::abs(acc_ref[i]) + 1.0))
+          << "n=" << n << " i=" << i;
+    }
+
+    const auto z_old = random_vec(2 * n, 880 + static_cast<unsigned>(n));
+    k::magsq_update(acc_fast.data(), z.data(), z_old.data(), n);
+    k::naive::magsq_update(acc_ref.data(), z.data(), z_old.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(acc_fast[i], acc_ref[i], 1e-12 * (std::abs(acc_ref[i]) + 1.0))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, MagsqUpdateAddThenRemoveIsIdentity) {
+  // Sliding-window power maintenance relies on +|z|^2 followed later by
+  // -|z|^2 of the same spectrum cancelling to reassociation error.
+  const std::size_t n = 129;
+  auto acc = random_vec(n, 890);
+  const auto base = acc;
+  const auto z = random_vec(2 * n, 891);
+  const std::vector<double> zeros(2 * n, 0.0);
+  k::magsq_update(acc.data(), z.data(), zeros.data(), n);      // add
+  k::magsq_update(acc.data(), zeros.data(), z.data(), n);      // remove
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(acc[i], base[i], 1e-12 * (std::abs(base[i]) + 1.0));
+  }
+}
+
+TEST(Kernels, WindowIntoComplexMatchesNaiveExactly) {
+  for (const std::size_t n : kSizes) {
+    std::vector<double> out_fast(2 * n, -1.0);
+    std::vector<double> out_ref(2 * n, -2.0);
+    const auto w = random_vec(n, 900 + static_cast<unsigned>(n));
+    std::vector<float> x(n);
+    Rng rng(910 + static_cast<unsigned>(n));
+    for (auto& v : x) v = static_cast<float>(rng.gaussian());
+    k::window_into_complex(out_fast.data(), w.data(), x.data(), n);
+    k::naive::window_into_complex(out_ref.data(), w.data(), x.data(), n);
+    // Element-wise with no reduction: must be bit-identical.
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      EXPECT_EQ(out_fast[i], out_ref[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(Kernels, SurviveDenormalInputs) {
   // Leaky LMS decays weights toward the denormal range on quiet inputs;
   // the kernels must stay finite and agree with the reference there.

@@ -154,6 +154,48 @@ TEST(BandEnergies, SplitsByBand) {
   EXPECT_GT(e[2], 100.0 * e[3]);
 }
 
+TEST(PsdStruct, BandPowerCountsNyquistInBandEndingAtNyquist) {
+  // A band ending exactly at fs/2 must include the Nyquist bin (the
+  // SignatureExtractor last-band convention); interior edges stay
+  // half-open so adjacent bands never double-count.
+  Psd psd;
+  psd.freq_hz = {0.0, 2000.0, 4000.0, 6000.0, 8000.0};
+  psd.power = {1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_DOUBLE_EQ(psd.band_power(0.0, 4000.0), 3.0);      // half-open interior
+  EXPECT_DOUBLE_EQ(psd.band_power(4000.0, 8000.0), 28.0);  // closes at Nyquist
+  EXPECT_DOUBLE_EQ(psd.band_power(0.0, 8000.0), 31.0);     // full grid
+  EXPECT_DOUBLE_EQ(psd.band_power(8000.0, 8000.0), 16.0);  // degenerate top
+}
+
+TEST(WelchPsd, BandPowerPartitionCoversFullGridIncludingNyquist) {
+  Rng rng(23);
+  Signal x(32000);
+  for (auto& v : x) v = static_cast<Sample>(rng.gaussian());
+  const auto psd = welch_psd(x, kFs);
+  double all = 0.0;
+  for (double p : psd.power) all += p;
+  // Adjacent [0,4k) + [4k,8k] must cover every bin exactly once now that
+  // the top band closes at Nyquist.
+  const double lower = psd.band_power(0.0, 4000.0);
+  const double upper = psd.band_power(4000.0, 8000.0);
+  EXPECT_NEAR(lower + upper, all, 1e-9 * all);
+}
+
+TEST(BandEnergies, NyquistBinJoinsBandEndingAtNyquist) {
+  // Frame of all-ones magnitudes over a 256-point grid: each band's energy
+  // equals its bin count, so the Nyquist bin's placement is visible.
+  const std::size_t fft_size = 256;
+  const std::vector<double> frame(fft_size / 2 + 1, 1.0);
+  const std::vector<std::pair<double, double>> bands = {{0.0, 4000.0},
+                                                        {4000.0, 8000.0}};
+  const auto e = band_energies(frame, kFs, fft_size, bands);
+  ASSERT_EQ(e.size(), 2u);
+  double covered = e[0] + e[1];
+  EXPECT_DOUBLE_EQ(covered, static_cast<double>(frame.size()));
+  // The top band gets the Nyquist bin: [4k,8k] spans bins 64..128 = 65 bins.
+  EXPECT_DOUBLE_EQ(e[1], 65.0);
+}
+
 TEST(PsdStruct, PowerAtFindsNearestBin) {
   Psd psd;
   psd.freq_hz = {0.0, 100.0, 200.0};

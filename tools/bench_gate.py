@@ -40,6 +40,7 @@ PINNED = [
     "BM_KernelScaledAccumulate/1024",
     "BM_FirFilterPerSample/1024",
     "BM_FxlmsCycle/1024",
+    "BM_FdLancBlock/2048",
     "BM_AdaptiveFirStep/1024",
     "BM_ShadowObserve/704",
 ]

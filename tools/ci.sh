@@ -66,7 +66,7 @@ run_rt_lint() {
 
 # Filter shared with the perf-smoke workflow job: calibration + every
 # benchmark bench_gate.py pins (plus their other tap sizes, informational).
-BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_AdaptiveFirStep|BM_ShadowObserve'
+BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_FdLancBlock|BM_AdaptiveFirStep|BM_ShadowObserve'
 
 run_perf() {
   echo "=== job: perf smoke (bench_gate) ==="
