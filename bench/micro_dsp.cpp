@@ -25,6 +25,7 @@
 #include "dsp/kernels.hpp"
 #include "dsp/resampler.hpp"
 #include "rf/fm.hpp"
+#include "sim/fleet.hpp"
 
 namespace {
 
@@ -371,6 +372,45 @@ void BM_Resample16kTo256k(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1600);
 }
 BENCHMARK(BM_Resample16kTo256k);
+
+// Fleet runtime per-block cost (the tentpole edge-service metric): a
+// fixed-size tenant fleet sharing one looped steady-state profile on ONE
+// worker lane (machine-independent — the gate must not reward core
+// count), advanced one scheduling quantum per iteration. Items/s is
+// device-samples per second: divide the sample rate into it for the
+// per-device real-time factor; bench/fleet has the full devices x RTF
+// capacity table. The profile is built once per process (a couple of
+// seconds of scene synthesis) and shared across repetitions.
+void BM_FleetThroughput(benchmark::State& state) {
+  const auto tenants = static_cast<std::size_t>(state.range(0));
+  static const sim::FleetProfile& profile = *[] {
+    sim::DeviceSimConfig cfg;
+    cfg.duration_s = 2.0;
+    cfg.seed = 7;
+    cfg.use_rf_link = false;
+    cfg.device.calibration_s = 0.25;
+    cfg.device.selection_period_s = 0.5;
+    cfg.device.secondary_taps = 96;
+    cfg.device.lanc.fxlms.causal_taps = 128;
+    audio::WhiteNoiseSource noise(0.1, 1011);
+    return new sim::FleetProfile(
+        sim::make_fleet_profile(noise, cfg, /*loop_steady_state=*/true));
+  }();
+  sim::FleetConfig fc;
+  fc.workers = 1;
+  fc.max_tenants = tenants;
+  fc.arena_bytes = std::size_t{8} << 20;
+  sim::FleetRuntime fleet(fc);
+  const std::size_t pid = fleet.add_profile(profile);
+  for (std::size_t i = 0; i < tenants; ++i) fleet.admit(pid, i + 1);
+  fleet.run_blocks(80);  // power-up calibration + first selection, untimed
+  for (auto _ : state) {
+    fleet.run_blocks(1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tenants * fleet.block_samples()));
+}
+BENCHMARK(BM_FleetThroughput)->Arg(8);
 
 void BM_GccPhat(benchmark::State& state) {
   Rng rng(8);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/arena.hpp"
+
 namespace mute {
 namespace detail {
 
@@ -103,27 +105,48 @@ bool RtAllocationGuard::interposition_enabled() noexcept {
 #if defined(MUTE_RT_GUARD_ENABLED)
 
 // Program-wide operator new/delete replacement (one definition per binary,
-// provided by mute_common). Allocation goes through plain malloc/free so
-// sanitizers keep full visibility; the only addition is the thread-local
-// counter consulted by RtAllocationGuard.
+// provided by mute_common). Two front doors, checked in order:
+//
+//   1. Arena routing (common/arena.hpp): when a ScopedArenaAlloc is
+//      installed on this thread, the allocation is a wait-free bump in the
+//      tenant's arena — no malloc, no guard bookkeeping (arena allocs are
+//      not heap traffic; steady-state cleanliness is about the global
+//      heap). Deletes of arena pointers are no-ops: monotonic arenas are
+//      reclaimed wholesale by reset().
+//   2. Plain malloc/free, so sanitizers keep full visibility; the only
+//      addition is the thread-local counter consulted by RtAllocationGuard.
 
-void* operator new(std::size_t size) { return mute::detail::checked_alloc(size); }
+void* operator new(std::size_t size) {
+  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+    return p;
+  return mute::detail::checked_alloc(size);
+}
 
 void* operator new[](std::size_t size) {
+  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+    return p;
   return mute::detail::checked_alloc(size);
 }
 
 void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* p = mute::detail::arena_try_alloc(
+          size, static_cast<std::size_t>(alignment)))
+    return p;
   return mute::detail::checked_aligned_alloc(
       size, static_cast<std::size_t>(alignment));
 }
 
 void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* p = mute::detail::arena_try_alloc(
+          size, static_cast<std::size_t>(alignment)))
+    return p;
   return mute::detail::checked_aligned_alloc(
       size, static_cast<std::size_t>(alignment));
 }
 
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+    return p;
   try {
     return mute::detail::checked_alloc(size);
   } catch (...) {
@@ -132,6 +155,8 @@ void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
 }
 
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+    return p;
   try {
     return mute::detail::checked_alloc(size);
   } catch (...) {
@@ -139,21 +164,30 @@ void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
   }
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+namespace {
+inline void mute_release(void* p) noexcept {
+  if (mute::detail::arena_owns(p)) return;  // monotonic: reclaimed by reset()
   std::free(p);
+}
+}  // namespace
+
+void operator delete(void* p) noexcept { mute_release(p); }
+void operator delete[](void* p) noexcept { mute_release(p); }
+void operator delete(void* p, std::size_t) noexcept { mute_release(p); }
+void operator delete[](void* p, std::size_t) noexcept { mute_release(p); }
+void operator delete(void* p, std::align_val_t) noexcept { mute_release(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { mute_release(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  mute_release(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  mute_release(p);
 }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  mute_release(p);
+}
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
+  mute_release(p);
 }
 
 #endif  // MUTE_RT_GUARD_ENABLED

@@ -1,12 +1,9 @@
 #include "sim/parallel_sweep.hpp"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
 
-#include "common/error.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mute::sim {
 
@@ -20,8 +17,7 @@ std::size_t default_sweep_workers() {
 }
 
 void parallel_for_index(std::size_t count, std::size_t workers,
-                        const std::function<void(std::size_t)>& body) {
-  ensure(body != nullptr, "parallel_for_index requires a body");
+                        FunctionRef<void(std::size_t)> body) {
   if (count == 0) return;
   if (workers == 0) workers = default_sweep_workers();
   if (workers > count) workers = count;
@@ -31,35 +27,8 @@ void parallel_for_index(std::size_t count, std::size_t workers,
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto drain = [&] {
-    for (;;) {
-      if (failed.load(std::memory_order_acquire)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (first_error == nullptr) first_error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_release);
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
-  drain();  // the calling thread is worker 0
-  for (auto& t : pool) t.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  WorkerPool pool(workers);  // transient: workers-1 threads for this sweep
+  pool.run(count, body);
 }
 
 }  // namespace mute::sim

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <optional>
+#include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/function_ref.hpp"
 
 namespace mute::sim {
 
@@ -14,9 +16,11 @@ namespace mute::sim {
 /// std::thread::hardware_concurrency() (>= 1).
 std::size_t default_sweep_workers();
 
-/// Run body(0) .. body(count-1) across a temporary thread pool of
-/// `workers` threads (0 = default_sweep_workers(); the calling thread
-/// participates, so workers == 1 runs inline with no thread machinery).
+/// Run body(0) .. body(count-1) across a temporary pool of `workers`
+/// threads (0 = default_sweep_workers(); the calling thread participates,
+/// so workers == 1 runs inline with no thread machinery). The body is a
+/// non-allocating FunctionRef — nothing is copied onto the heap to
+/// dispatch a sweep.
 ///
 /// Determinism contract (DESIGN.md §10): the bodies of one sweep must be
 /// independent — each index derives everything it needs (RNG seeds
@@ -26,30 +30,66 @@ std::size_t default_sweep_workers();
 /// simulation library already guarantees (seeded per-scenario RNGs, no
 /// mutable globals) and the tsan preset verifies.
 ///
-/// Indices are claimed from a shared atomic counter (work stealing —
-/// scenario runtimes vary wildly, static chunking would idle the fast
-/// workers). The first exception thrown by any body is re-thrown on the
-/// calling thread after the pool drains; remaining un-started indices are
-/// abandoned at the next claim.
+/// Scheduling (work stealing, first-exception rethrow, abandonment of
+/// un-started indices after a failure) is WorkerPool's dispatch contract —
+/// this function is a thin transient-pool wrapper over the same scheduler
+/// the fleet runtime keeps alive (sim/worker_pool.hpp); there is exactly
+/// one claiming/draining implementation in the tree.
 void parallel_for_index(std::size_t count, std::size_t workers,
-                        const std::function<void(std::size_t)>& body);
+                        FunctionRef<void(std::size_t)> body);
 
 /// Map fn over [0, count) concurrently and return the results IN INDEX
 /// ORDER — the parallel replacement for the figure benches' serial
 /// scenario loops. `fn` must satisfy the determinism contract of
 /// parallel_for_index and be safe to invoke concurrently from several
 /// threads (a lambda capturing only const/immutable state qualifies).
+///
+/// Results are constructed in place in their final slot: each body
+/// move-assigns (default-constructible R) or placement-constructs
+/// (otherwise) directly into out[i] — no vector<optional<R>> staging
+/// buffer, no second pass of copies.
 template <typename Fn>
 auto parallel_sweep(std::size_t count, Fn&& fn, std::size_t workers = 0)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using R = std::invoke_result_t<Fn&, std::size_t>;
-  std::vector<std::optional<R>> slots(count);
-  parallel_for_index(count, workers,
-                     [&](std::size_t i) { slots[i].emplace(fn(i)); });
-  std::vector<R> out;
-  out.reserve(count);
-  for (auto& slot : slots) out.push_back(std::move(*slot));
-  return out;
+  if constexpr (std::is_default_constructible_v<R> &&
+                std::is_move_assignable_v<R>) {
+    std::vector<R> out(count);
+    parallel_for_index(count, workers,
+                       [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  } else {
+    // Non-default-constructible R: placement-construct each result into a
+    // raw slot, then move the slots into the vector. Slots that were never
+    // constructed (a sweep abandoned after an exception) are tracked so
+    // only live ones are destroyed; the exception re-thrown by
+    // parallel_for_index unwinds through here.
+    struct Slots {
+      std::unique_ptr<std::byte[]> raw;
+      std::unique_ptr<unsigned char[]> live;
+      std::size_t n;
+      R* at(std::size_t i) {
+        return std::launder(reinterpret_cast<R*>(raw.get() + i * sizeof(R)));
+      }
+      ~Slots() {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (live[i] != 0) at(i)->~R();
+        }
+      }
+    };
+    Slots slots{std::make_unique<std::byte[]>(count * sizeof(R)),
+                std::make_unique<unsigned char[]>(count), count};
+    static_assert(alignof(R) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned sweep results are not supported");
+    parallel_for_index(count, workers, [&](std::size_t i) {
+      ::new (static_cast<void*>(slots.raw.get() + i * sizeof(R))) R(fn(i));
+      slots.live[i] = 1;
+    });
+    std::vector<R> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(std::move(*slots.at(i)));
+    return out;
+  }
 }
 
 }  // namespace mute::sim

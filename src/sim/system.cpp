@@ -411,8 +411,8 @@ SystemResult run_anc_simulation(audio::SoundSource& noise,
   return result;
 }
 
-SystemResult run_device_simulation(audio::SoundSource& noise,
-                                   const DeviceSimConfig& config) {
+DeviceStreams prepare_device_streams(audio::SoundSource& noise,
+                                     const DeviceSimConfig& config) {
   const double fs = config.scene.sample_rate;
   ensure(fs > 0, "scene sample rate must be positive");
   const auto n = static_cast<std::size_t>(config.duration_s * fs);
@@ -484,14 +484,31 @@ SystemResult run_device_simulation(audio::SoundSource& noise,
   }
 
   // --- 4. Anti-noise plant (latency budget inside, as in the offline
-  //        sim) and the device itself --------------------------------
-  core::MuteDeviceConfig dev_cfg = config.device;
-  dev_cfg.sample_rate = fs;
-  dev_cfg.relay_count = relay_count;
-  core::MuteDevice device(dev_cfg);
-  const auto hse_eff = effective_secondary_ir(
-      h_se.impulse_response(), dev_cfg.latency.total_s() * fs);
-  mute::dsp::FirFilter hse_stream(hse_eff);
+  //        sim) ---------------------------------------------------------
+  DeviceStreams streams;
+  streams.device = config.device;
+  streams.device.sample_rate = fs;
+  streams.device.relay_count = relay_count;
+  streams.hse_eff = effective_secondary_ir(
+      h_se.impulse_response(), streams.device.latency.total_s() * fs);
+  streams.x = std::move(x);
+  streams.d = std::move(d_ac);
+  streams.quiet_samples = quiet;
+  streams.sample_rate = fs;
+  return streams;
+}
+
+SystemResult run_device_simulation(audio::SoundSource& noise,
+                                   const DeviceSimConfig& config) {
+  DeviceStreams streams = prepare_device_streams(noise, config);
+  const double fs = streams.sample_rate;
+  const std::size_t n = streams.d.size();
+  const std::size_t relay_count = streams.x.size();
+  const std::vector<Signal>& x = streams.x;
+  Signal d_ac = std::move(streams.d);
+
+  core::MuteDevice device(streams.device);
+  mute::dsp::FirFilter hse_stream(streams.hse_eff);
 
   // --- 5. Streaming loop -----------------------------------------------
   SystemResult result;
@@ -535,7 +552,7 @@ SystemResult run_device_simulation(audio::SoundSource& noise,
   }
   if (device.measured_lookahead_s() > 0.0) {
     result.usable_lookahead_s = core::usable_lookahead_s(
-        device.measured_lookahead_s(), dev_cfg.latency);
+        device.measured_lookahead_s(), streams.device.latency);
   }
   return result;
 }

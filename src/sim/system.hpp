@@ -223,6 +223,34 @@ struct DeviceSimConfig {
   core::MuteDeviceConfig device{};
 };
 
+/// The shared-input half of the device-level simulation: everything
+/// upstream of the MuteDevice itself. Holds the synthesized noise record
+/// (with the quiet power-up lead-in), the normalized disturbance at the
+/// ear, one reference stream per relay (gain-staged and pushed through its
+/// RF chain), and the effective secondary-path IR with the latency budget
+/// inside. `device` is the caller's MuteDeviceConfig with `sample_rate`
+/// and `relay_count` resolved.
+///
+/// Factored out of run_device_simulation so the fleet runtime
+/// (sim/fleet.hpp) builds its tenant profiles through the *same* code
+/// path — one implementation is what makes a single-tenant fleet
+/// bit-identical to run_device_simulation.
+struct DeviceStreams {
+  std::vector<Signal> x;        // per-relay reference, post RF chain
+  Signal d;                     // disturbance at the ear (lead-in muted)
+  std::vector<double> hse_eff;  // effective secondary-path IR
+  std::size_t quiet_samples = 0;  // power-up lead-in (ambient muted)
+  core::MuteDeviceConfig device;  // sample_rate / relay_count resolved
+  double sample_rate = 0.0;
+};
+
+/// Synthesize the inputs of a device-level run (steps 1-4 of
+/// run_device_simulation): noise record with quiet lead-in, acoustic
+/// paths, loud-region level normalization, per-relay RF chains, effective
+/// secondary path. Deterministic in (noise, config).
+DeviceStreams prepare_device_streams(audio::SoundSource& noise,
+                                     const DeviceSimConfig& config);
+
 /// Run the device-level simulation. In the result, `disturbance` and
 /// `residual` are the ear field without/with the device (the residual
 /// includes the calibration tone and every state transition — it is the

@@ -1,0 +1,97 @@
+#include "sim/worker_pool.hpp"
+
+#include "common/error.hpp"
+#include "sim/parallel_sweep.hpp"
+
+namespace mute::sim {
+
+WorkerPool::WorkerPool(std::size_t workers)
+    : workers_(workers == 0 ? default_sweep_workers() : workers) {
+  if (workers_ < 1) workers_ = 1;
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::drain(const FunctionRef<void(std::size_t)>& body) {
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) return;
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      body(i);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_m_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::optional<FunctionRef<void(std::size_t)>> body;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      body.emplace(*body_);  // two-word copy under the lock, no allocation
+    }
+    drain(*body);
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (--busy_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     FunctionRef<void(std::size_t)> body) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    // Inline fast path: no fences, no wakeups; used by 1-worker pools and
+    // single-item jobs (the calling thread would claim everything anyway).
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    ensure(body_ == std::nullopt, "WorkerPool::run is not reentrant");
+    body_.emplace(body);
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    busy_ = threads_.size();
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  drain(body);  // the calling thread is a full worker
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return busy_ == 0; });
+    body_.reset();
+  }
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace mute::sim

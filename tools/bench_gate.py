@@ -43,6 +43,7 @@ PINNED = [
     "BM_FdLancBlock/2048",
     "BM_AdaptiveFirStep/1024",
     "BM_ShadowObserve/704",
+    "BM_FleetThroughput/8",
 ]
 
 

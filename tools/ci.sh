@@ -17,12 +17,17 @@
 #                 bounded re-acquisition, allocation-free steady state)
 #                 under randomized fault chaos; writes soak-report.json
 #                 (DESIGN.md §12)
+#   7. fleet-smoke : bench/fleet_soak on a small churned tenant fleet —
+#                 per-tenant never-louder verdicts plus the zero
+#                 worker-lane heap traffic contract of the fleet runtime;
+#                 writes fleet-soak-report.json (DESIGN.md §14)
 #
 # `rt-lint` is also available standalone (subset of analyze): it re-runs
 # only the static RT-safety gate, seconds instead of a full tidy sweep.
 #
-# Usage: tools/ci.sh [plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke]...
-#        (default: plain sanitize tsan analyze perf soak-smoke)
+# Usage: tools/ci.sh [plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke|
+#                     fleet-smoke]...
+#        (default: plain sanitize tsan analyze perf soak-smoke fleet-smoke)
 #
 # Every ctest run carries --timeout 900: a hung test (deadlock, runaway
 # convergence loop) fails after 15 minutes instead of wedging the job.
@@ -66,7 +71,7 @@ run_rt_lint() {
 
 # Filter shared with the perf-smoke workflow job: calibration + every
 # benchmark bench_gate.py pins (plus their other tap sizes, informational).
-BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_FdLancBlock|BM_AdaptiveFirStep|BM_ShadowObserve'
+BENCH_FILTER='BM_Calibration|BM_Kernel|BM_FirFilterPerSample|BM_FxlmsCycle|BM_FdLancBlock|BM_AdaptiveFirStep|BM_ShadowObserve|BM_FleetThroughput'
 
 run_perf() {
   echo "=== job: perf smoke (bench_gate) ==="
@@ -90,8 +95,20 @@ run_soak_smoke() {
     --relays 4 --duration 8 --seeds 3 --json soak-report.json
 }
 
+# Small but real fleet churn: mixed profiles (one with a scripted relay
+# dropout), admit/drain rounds, per-tenant never-louder verdicts, and the
+# zero worker-lane heap allocation contract. Exits non-zero on any
+# violation; the JSON verdict is the CI artifact.
+run_fleet_smoke() {
+  echo "=== job: fleet smoke (multi-tenant runtime invariants) ==="
+  cmake --preset dev
+  cmake --build --preset dev -j "$JOBS" --target fleet_soak
+  ./build-dev/bench/fleet_soak \
+    --devices 64 --sim-seconds 3 --json fleet-soak-report.json
+}
+
 if [[ $# -eq 0 ]]; then
-  set -- plain sanitize tsan analyze perf soak-smoke
+  set -- plain sanitize tsan analyze perf soak-smoke fleet-smoke
 fi
 
 for job in "$@"; do
@@ -103,9 +120,11 @@ for job in "$@"; do
     rt-lint) run_rt_lint ;;
     perf) run_perf ;;
     soak-smoke) run_soak_smoke ;;
+    fleet-smoke) run_fleet_smoke ;;
     *)
       echo "unknown job: $job" \
-        "(expected plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke)" >&2
+        "(expected plain|sanitize|tsan|analyze|rt-lint|perf|soak-smoke|" \
+        "fleet-smoke)" >&2
       exit 2
       ;;
   esac

@@ -135,6 +135,8 @@ REQUIRED_ROOTS = [
     "mute::rf::SpectrumPlanner::note_adverse",
     "mute::rf::SpectrumPlanner::note_clean",
     "mute::rf::SpectrumPlanner::plan",
+    "mute::sim::FleetRuntime::process_tenant_block",
+    "mute::MonotonicArena::allocate",
 ]
 
 CONTROL_KEYWORDS = {
