@@ -61,6 +61,12 @@ class MonotonicArena {
   /// from the soak high-water mark, don't catch this.
   MUTE_RT_SAFE void* allocate(std::size_t size, std::size_t align) noexcept;
 
+  /// Like allocate(), but returns nullptr on exhaustion instead of
+  /// aborting. This is the path operator new(nothrow) uses, preserving its
+  /// standard "check the pointer" contract under arena routing.
+  MUTE_RT_SAFE void* try_allocate(std::size_t size,
+                                  std::size_t align) noexcept;
+
   /// Reclaim everything allocated so far (no destructors run — callers
   /// destroy tenant objects first; their deletes are no-ops by design).
   /// Also clears the accounting counters: an arena is recycled per tenant,
@@ -95,8 +101,10 @@ class MonotonicArena {
 };
 
 /// One malloc'd slab cut into `tenant_count` arenas of `tenant_bytes`
-/// each, registered with the operator-delete interposition for its whole
-/// lifetime. Arena indices map 1:1 to fleet tenant slots.
+/// each (rounded up to alignof(std::max_align_t) so every tenant base
+/// keeps malloc's fundamental alignment; tenant_bytes() reports the
+/// rounded stride), registered with the operator-delete interposition for
+/// its whole lifetime. Arena indices map 1:1 to fleet tenant slots.
 class ArenaPool {
  public:
   ArenaPool(std::size_t tenant_bytes, std::size_t tenant_count);
@@ -120,6 +128,12 @@ class ArenaPool {
 };
 
 /// While alive, operator new on THIS thread allocates from `arena`.
+///
+/// Exhaustion semantics while a scope is installed: the throwing operator
+/// new forms inherit the arena's fail-loud contract (MUTE_ASSERT abort
+/// naming the arena); operator new(std::nothrow) keeps its standard
+/// contract and returns nullptr instead — it never falls back to the
+/// global heap, which would silently break per-tenant isolation.
 class ScopedArenaAlloc {
  public:
   explicit ScopedArenaAlloc(MonotonicArena& arena) noexcept;
@@ -143,6 +157,12 @@ namespace detail {
 /// arena is installed on this thread (caller falls through to malloc).
 MUTE_RT_SAFE void* arena_try_alloc(std::size_t size,
                                    std::size_t align) noexcept;
+
+/// Hook for operator new(nothrow): false when no arena is installed (caller
+/// falls through to the heap); true when routed, with *out either the arena
+/// block or nullptr on exhaustion (no abort — see ScopedArenaAlloc docs).
+MUTE_RT_SAFE bool arena_try_alloc_nothrow(std::size_t size, std::size_t align,
+                                          void** out) noexcept;
 
 /// Deallocation hook for the interposed operator delete: true when `p`
 /// points into any registered arena slab (the delete is then a no-op).

@@ -144,8 +144,14 @@ void* operator new[](std::size_t size, std::align_val_t alignment) {
       size, static_cast<std::size_t>(alignment));
 }
 
+// The nothrow forms keep their standard contract under arena routing: on
+// arena exhaustion they return nullptr (no abort, no silent heap fallback
+// that would break per-tenant isolation).
+
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+  void* p = nullptr;
+  if (mute::detail::arena_try_alloc_nothrow(size, alignof(std::max_align_t),
+                                            &p))
     return p;
   try {
     return mute::detail::checked_alloc(size);
@@ -155,7 +161,9 @@ void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
 }
 
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  if (void* p = mute::detail::arena_try_alloc(size, alignof(std::max_align_t)))
+  void* p = nullptr;
+  if (mute::detail::arena_try_alloc_nothrow(size, alignof(std::max_align_t),
+                                            &p))
     return p;
   try {
     return mute::detail::checked_alloc(size);

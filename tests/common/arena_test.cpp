@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -41,6 +42,26 @@ TEST(MonotonicArena, ResetReclaimsEverythingAndClearsCounters) {
   EXPECT_EQ(arena.allocate(64, 8), first);
 }
 
+TEST(MonotonicArena, AlignsTheAbsoluteAddressNotTheOffset) {
+  // An arena whose base is deliberately misaligned must still hand out
+  // pointers aligned in absolute terms (offset-relative alignment would
+  // return base + k*align, which is misaligned here).
+  alignas(64) std::byte storage[256];
+  MonotonicArena arena(storage + 1, sizeof(storage) - 1, "skewed");
+  void* p = arena.allocate(8, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  EXPECT_TRUE(arena.contains(p));
+}
+
+TEST(MonotonicArena, TryAllocateReturnsNullOnExhaustion) {
+  std::byte storage[128];
+  MonotonicArena arena(storage, sizeof(storage), "tiny");
+  EXPECT_EQ(arena.try_allocate(4096, 8), nullptr);
+  EXPECT_EQ(arena.used(), 0u);  // a failed try leaves the arena untouched
+  EXPECT_NE(arena.try_allocate(64, 8), nullptr);
+}
+
 TEST(MonotonicArenaDeathTest, ExhaustionAbortsLoudly) {
   // The contract for an undersized tenant arena: a deterministic MUTE_ASSERT
   // abort naming the arena — never UB, never a silent global-heap fallback.
@@ -60,6 +81,58 @@ TEST(ArenaPool, CutsTheSlabIntoIsolatedTenantArenas) {
   EXPECT_FALSE(pool.arena(0).contains(a2));
   EXPECT_TRUE(pool.arena(2).contains(a2));
   EXPECT_EQ(pool.arena(1).used(), 0u);
+}
+
+TEST(ArenaPool, RoundsTenantStrideToFundamentalAlignment) {
+  // A ragged tenant_bytes must not skew later tenants' bases: the stride
+  // is rounded up to alignof(std::max_align_t).
+  ArenaPool pool(1000, 3);
+  EXPECT_EQ(pool.tenant_bytes() % alignof(std::max_align_t), 0u);
+  EXPECT_GE(pool.tenant_bytes(), 1000u);
+  for (std::size_t i = 0; i < pool.tenant_count(); ++i) {
+    void* p = pool.arena(i).allocate(8, alignof(std::max_align_t));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u);
+  }
+}
+
+TEST(ArenaPool, RegisteringASecondPoolPreservesTheFirstRegionsExtent) {
+  // Regression: register_arena_region used to write the new region's size
+  // into every probed slot before the claim CAS failed, so creating pool B
+  // inflated pool A's registered extent — operator delete then treated
+  // heap pointers adjacent to A's slab as arena-owned (leak) or freed
+  // arena pointers beyond the clobbered size (heap corruption).
+  ArenaPool a(1024, 1);
+  void* inside_a = a.arena(0).allocate(16, 8);
+  ArenaPool b(1 << 20, 1);  // second registration probes past A's slot
+  EXPECT_TRUE(detail::arena_owns(inside_a));
+  EXPECT_TRUE(detail::arena_owns(b.arena(0).allocate(16, 8)));
+  // A pointer just past A's slab must NOT read as owned by A: its
+  // registered size has to still be A's own, not B's. (Guard against the
+  // freak case where malloc placed B's slab exactly there.)
+  const auto* past_a = static_cast<const std::byte*>(inside_a) +
+                       a.tenant_bytes() * a.tenant_count();
+  if (!b.arena(0).contains(past_a)) {
+    EXPECT_FALSE(detail::arena_owns(past_a));
+  }
+}
+
+TEST(ScopedArenaAlloc, NothrowNewReturnsNullOnArenaExhaustion) {
+  if (!ScopedArenaAlloc::routing_enabled()) {
+    GTEST_SKIP() << "allocation interposition compiled out";
+  }
+  // operator new(nothrow) keeps its standard contract under arena routing:
+  // exhaustion yields nullptr (checkable by the caller), not the abort the
+  // throwing forms use, and never a silent global-heap fallback.
+  ArenaPool pool(256, 1);
+  ScopedArenaAlloc scope(pool.arena(0));
+  void* big = ::operator new(1 << 20, std::nothrow);
+  EXPECT_EQ(big, nullptr);
+  void* small = ::operator new(32, std::nothrow);
+  ASSERT_NE(small, nullptr);
+  EXPECT_TRUE(pool.arena(0).contains(small));
+  ::operator delete(small, std::nothrow);
 }
 
 TEST(ScopedArenaAlloc, RoutesOperatorNewIntoTheActiveArena) {
